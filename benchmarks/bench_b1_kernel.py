@@ -1,0 +1,80 @@
+"""B1 — simulator-kernel microbenchmarks.
+
+Unlike the experiment drivers (one timed sweep each), these use
+pytest-benchmark's normal statistical looping to characterize the
+substrate itself: engine round throughput under the heaviest shipped
+protocols, graph generation, and the metric utilities.  Regressions here
+silently inflate every experiment's wall clock, so they are tracked
+separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.algorithms.registry import get_algorithm
+from repro.graphs import make_topology
+from repro.sim import SynchronousEngine
+
+N = 256
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def kout_graph():
+    return make_topology("kout", N, seed=SEED, k=3)
+
+
+def test_b1_engine_rounds_namedropper(benchmark, kout_graph):
+    """Cost of executing 5 gossip rounds (heavy pointer traffic)."""
+
+    def run_five_rounds():
+        engine = SynchronousEngine(
+            kout_graph,
+            get_algorithm("namedropper").node_factory(),
+            seed=SEED,
+            enforce_legality=False,
+        )
+        for _ in range(5):
+            engine.step()
+        return engine.round_no
+
+    assert benchmark(run_five_rounds) == 5
+
+
+def test_b1_full_sublog_run(benchmark, kout_graph):
+    """End-to-end core-algorithm run at n=256."""
+
+    result = benchmark(
+        lambda: repro.discover(
+            kout_graph, algorithm="sublog", seed=SEED, enforce_legality=False
+        )
+    )
+    assert result.completed
+
+
+def test_b1_legality_enforcement_overhead(benchmark, kout_graph):
+    """The same run with per-message legality checks on (tests pay this)."""
+
+    result = benchmark(
+        lambda: repro.discover(
+            kout_graph, algorithm="sublog", seed=SEED, enforce_legality=True
+        )
+    )
+    assert result.completed
+
+
+def test_b1_graph_generation(benchmark):
+    graph = benchmark(lambda: make_topology("kout", 2048, seed=3, k=3))
+    assert graph.n == 2048
+
+
+def test_b1_diameter_estimate(benchmark, kout_graph):
+    diameter = benchmark(lambda: kout_graph.undirected_diameter(exact=False))
+    assert diameter >= 1
+
+
+def test_b1_ball_query(benchmark, kout_graph):
+    ball = benchmark(lambda: kout_graph.undirected_ball(0, 3))
+    assert len(ball) > 1

@@ -1,0 +1,27 @@
+"""Benchmark driver for experiment F1 — round-scaling figure.
+
+Regenerates: F1 (rounds vs n series per algorithm + lower bound).
+Shape asserted: every series dominates the lower-bound series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_f1_round_scaling(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("F1").run(scale))
+    save_report(report)
+
+    figure = report.artifacts[0]
+    bounds = next(s for s in figure.series if s.name == "lower-bound")
+    for series in figure.series:
+        if series.name == "lower-bound":
+            continue
+        for bound, value in zip(bounds.values, series.values):
+            if not math.isnan(value):
+                assert value >= bound

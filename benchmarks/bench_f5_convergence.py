@@ -1,0 +1,23 @@
+"""Benchmark driver for experiment F5 — convergence curves.
+
+Regenerates: F5 (completeness per round) and F5b (milestones).
+Shape asserted: every algorithm reaches t100, and swamping's t100 is the
+earliest (it is round-optimal).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_f5_convergence(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("F5").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    for algorithm, stones in summary.items():
+        assert stones["t100"] is not None, algorithm
+    assert summary["swamping"]["t100"] <= summary["sublog"]["t100"]
+    assert summary["swamping"]["t100"] <= summary["namedropper"]["t100"]

@@ -1,0 +1,44 @@
+"""Benchmark driver for experiment T1 — the headline rounds table.
+
+Regenerates: T1 (rounds to strong discovery, all algorithms, n-sweep).
+
+Shape asserted (the asymptotic claim, not a pointwise one): sublog's
+round count *plateaus* — it grows by at most two phases across the whole
+sweep — while namedropper's keeps growing with log n, so sublog's total
+growth is no larger than namedropper's and the curves cross.  Measured
+crossover on 3-out inputs: n ≈ 1024–2048 (namedropper 18 → 26 rounds over
+n = 512 → 4096 while sublog stays at 20); below it namedropper's small
+constant wins on rounds, but sublog already wins pointers by ~8×
+everywhere (experiment T2).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+from repro.core.phases import ROUNDS_PER_PHASE
+
+
+def test_t1_headline_rounds(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T1").run(scale))
+    save_report(report)
+
+    medians = report.summary["medians"]
+    sublog = medians["sublog"]
+    namedropper = medians["namedropper"]
+
+    # Plateau: at most two extra phases across the whole sweep.
+    smallest, biggest = min(sublog), max(sublog)
+    assert sublog[biggest] <= sublog[smallest] + 2 * ROUNDS_PER_PHASE
+
+    # Relative shape: sublog grows no faster than namedropper.
+    common = sorted(set(sublog) & set(namedropper))
+    lo, hi = common[0], common[-1]
+    sublog_growth = sublog[hi] - sublog[lo]
+    namedropper_growth = namedropper[hi] - namedropper[lo]
+    assert sublog_growth <= max(namedropper_growth, ROUNDS_PER_PHASE)
+
+    # Past the measured crossover the plateau must actually win.
+    if hi >= 2048:
+        assert sublog[hi] <= namedropper[hi]

@@ -1,0 +1,24 @@
+"""Benchmark driver for experiment T2 — message/pointer complexity.
+
+Regenerates: T2a (messages) and T2b (pointers).
+Shape asserted: sublog's messages-per-machine stay bounded across the
+sweep (near-linear total messages), the paper's "optimal message
+complexity" claim.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t2_message_complexity(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T2").run(scale))
+    save_report(report)
+
+    per_node = report.summary["messages_per_node"]["sublog"]
+    assert max(per_node) < 80
+    # Growth across the sweep is far below linear: doubling n repeatedly
+    # must not double messages/machine each time.
+    assert per_node[-1] < per_node[0] * len(per_node)

@@ -1,0 +1,26 @@
+"""Benchmark driver for experiment T3 — fault tolerance.
+
+Regenerates: T3a (message loss) and T3b (crash failures).
+Shape asserted: the hardened core algorithm completes at every injected
+loss rate with bounded round inflation, and survivors complete after
+crashes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t3_faults(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T3").run(scale))
+    save_report(report)
+
+    loss = report.summary["loss"]["sublog"]
+    clean = loss[0.0]
+    worst = max(loss.values())
+    assert worst <= 8 * clean  # bounded inflation across 0..10% loss
+
+    crash = report.summary["crash"]["sublog"]
+    assert all(rate == 1.0 for rate in crash.values())

@@ -1,0 +1,21 @@
+"""Benchmark driver for experiment T4 — weak vs strong discovery.
+
+Regenerates: T4 (pointer cost of the two goals).
+Shape asserted: the weak-goal pointer cost grows far slower than the
+strong-goal cost — the Θ(n²) completion broadcast is real and isolated.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t4_weak_strong(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T4").run(scale))
+    save_report(report)
+
+    largest = max(report.summary)
+    row = report.summary[largest]
+    assert row["weak_pointers"] < row["strong_pointers"] / 2

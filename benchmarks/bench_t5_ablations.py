@@ -1,0 +1,23 @@
+"""Benchmark driver for experiment T5 — ablations.
+
+Regenerates: T5 (one row per disabled mechanism).
+Shape asserted: chain contraction is the load-bearing mechanism (the coin
+variant is materially slower), and the default variant's pointer cost is
+a small fraction of full-knowledge gossip.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t5_ablations(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T5").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    default = summary["sublog (default)"]
+    assert summary["coin contraction"]["rounds"] >= 1.5 * default["rounds"]
+    assert default["pointers"] < summary["namedropper push"]["pointers"] / 2

@@ -1,0 +1,23 @@
+"""Benchmark driver for experiment T6 — dynamic membership.
+
+Regenerates: T6 (settle time after the last staggered join).
+Shape asserted: settle time is flat in the number of joiners — tripling
+the join volume must not triple the settle time.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t6_churn(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T6").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    fractions = sorted(summary)
+    smallest = summary[fractions[0]]["sublog"]
+    largest = summary[fractions[-1]]["sublog"]
+    assert largest <= 3 * max(smallest, 6.0)

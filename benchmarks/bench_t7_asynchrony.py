@@ -1,0 +1,26 @@
+"""Benchmark driver for experiment T7 — bounded asynchrony.
+
+Regenerates: T7 (rounds under delivery jitter).
+Shape asserted: every algorithm completes at every jitter level (the
+experiment itself asserts completion), and degradation is bounded —
+jitter 4 costs sublog at most ~(1+J) times its synchronous rounds.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t7_asynchrony(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T7").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    for algorithm, by_jitter in summary.items():
+        assert by_jitter[4] <= (1 + 4) * max(by_jitter[0], 6.0), algorithm
+    # Gossip's relative degradation is the milder one.
+    nd_ratio = summary["namedropper"][4] / summary["namedropper"][0]
+    sublog_ratio = summary["sublog"][4] / summary["sublog"][0]
+    assert nd_ratio <= sublog_ratio + 1.0

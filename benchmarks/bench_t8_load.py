@@ -1,0 +1,22 @@
+"""Benchmark driver for experiment T8 — load profile.
+
+Regenerates: T8 (peak inbox and receive skew per algorithm).
+Shape asserted: the leader-based algorithm has a materially higher peak
+and skew than uniform gossip — the documented price of its total-cost
+optimality.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import get_experiment
+
+
+def test_t8_load(benchmark, scale, save_report):
+    report = run_once(benchmark, lambda: get_experiment("T8").run(scale))
+    save_report(report)
+
+    summary = report.summary
+    assert summary["sublog"]["peak"] > 4 * summary["namedropper"]["peak"]
+    assert summary["sublog"]["skew"] > summary["namedropper"]["skew"]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark drivers.
+
+Each driver regenerates one evaluation artifact (table or figure), prints
+it, and writes it under ``results/`` so EXPERIMENTS.md can reference the
+exact output.  Scale is controlled by ``REPRO_BENCH_SCALE`` (small|full).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.seeds import Scale, bench_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir, scale):
+    """Print a report and persist it as results/<id>.<scale>.txt."""
+
+    def _save(report) -> None:
+        text = report.render()
+        print()
+        print(text)
+        path = results_dir / f"{report.experiment_id}.{scale.name}.txt"
+        path.write_text(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Experiments are long-running sweeps; statistical repetition happens
+    *inside* them (across seeds), so one timed invocation is correct.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

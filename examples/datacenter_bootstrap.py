@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Datacenter fleet bootstrap: discovery across racks with realistic loss.
+
+Scenario: a virtualized datacenter boots a fleet of hypervisor hosts.
+Hosts in the same rack know each other (they share a management VLAN);
+each rack's hosts also hold a handful of cross-rack addresses from the
+provisioning system.  Before the fleet can form tunnels/overlays, every
+host must learn every other host's address — exactly the resource
+discovery problem, on the `clustered` topology.
+
+The management network is busy, so we also inject 2% message loss and
+run the discovery protocol in its resilient configuration.
+
+Run:  python examples/datacenter_bootstrap.py [hosts] [racks]
+"""
+
+import sys
+
+import repro
+from repro.sim import FaultPlan
+
+
+def main() -> None:
+    hosts = int(sys.argv[1]) if len(sys.argv) > 1 else 384
+    racks = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    seed = 2026
+
+    print(f"Fleet: {hosts} hosts in {racks} racks, 2 cross-rack links per rack\n")
+    graph = repro.make_topology(
+        "clustered", hosts, seed=seed, clusters=racks, bridges=2
+    )
+
+    print("-- clean network " + "-" * 45)
+    for algorithm in ("sublog", "namedropper"):
+        result = repro.discover(graph, algorithm=algorithm, seed=seed)
+        print(
+            f"  {algorithm:<12} rounds={result.rounds:<4} "
+            f"messages/host={result.messages / hosts:6.1f} "
+            f"pointers={result.pointers:,}"
+        )
+
+    print("\n-- busy network: 2% message loss " + "-" * 29)
+    plan = FaultPlan(loss_rate=0.02, seed=seed)
+    resilient = repro.discover(
+        graph,
+        algorithm="sublog",
+        seed=seed,
+        fault_plan=plan,
+        resilient=True,
+        watchdog_phases=3,
+        stagnation_phases=4,
+    )
+    print(
+        f"  sublog       rounds={resilient.rounds:<4} "
+        f"(dropped {resilient.dropped_messages:,} of "
+        f"{resilient.messages:,} messages) completed={resilient.completed}"
+    )
+
+    print(
+        "\nEvery host now holds the full fleet roster; tunnel meshes, "
+        "gossip overlays, or\nmembership services can be built on top "
+        "without any central registry."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Failure study: what crashes and packet loss do to leader-based discovery.
+
+Leader-based cluster merging is dramatically cheaper than structure-free
+gossip — but structure is something that can break.  This example
+reproduces the repository's robustness story end to end:
+
+* a fleet loses 15% of its machines mid-discovery (round 8);
+* messages drop independently with 3% probability throughout;
+* the hardened core algorithm (full contact re-reports, orphan watchdog,
+  stagnation broadcasts) still gets every *survivor* to know every other
+  survivor, at a measured round premium;
+* structure-free Name-Dropper is shown as the robustness yardstick.
+
+Run:  python examples/failure_study.py [machines]
+"""
+
+import sys
+
+import repro
+from repro.sim import FaultPlan, crash_fraction_plan
+
+
+def main() -> None:
+    machines = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    seed = 5
+
+    graph = repro.make_topology("kout", machines, seed=seed, k=3)
+    crash = crash_fraction_plan(graph.node_ids, 0.15, crash_round=8, seed=seed)
+    plan = FaultPlan(
+        loss_rate=0.03, crash_rounds=dict(crash.crash_rounds), seed=seed
+    )
+    survivors = machines - len(crash.crash_rounds)
+    print(
+        f"{machines} machines; {len(crash.crash_rounds)} will crash at "
+        f"round 8; 3% message loss throughout\n"
+    )
+
+    print(f"{'configuration':<34}{'rounds':>8}{'done':>6}{'msgs/survivor':>15}")
+
+    baseline = repro.discover(
+        graph, algorithm="sublog", seed=seed, goal="strong_alive", fault_plan=plan
+    )
+    print(
+        f"{'sublog (no hardening)':<34}{baseline.rounds:>8}"
+        f"{str(baseline.completed):>6}{baseline.messages / survivors:>15.1f}"
+    )
+
+    hardened = repro.discover(
+        graph,
+        algorithm="sublog",
+        seed=seed,
+        goal="strong_alive",
+        fault_plan=plan,
+        resilient=True,
+        watchdog_phases=3,
+        stagnation_phases=4,
+        max_rounds=1500,
+    )
+    print(
+        f"{'sublog (watchdog + resilient)':<34}{hardened.rounds:>8}"
+        f"{str(hardened.completed):>6}{hardened.messages / survivors:>15.1f}"
+    )
+
+    gossip = repro.discover(
+        graph, algorithm="namedropper", seed=seed, goal="strong_alive", fault_plan=plan
+    )
+    print(
+        f"{'namedropper (yardstick)':<34}{gossip.rounds:>8}"
+        f"{str(gossip.completed):>6}{gossip.messages / survivors:>15.1f}"
+    )
+
+    assert hardened.completed
+    print(
+        "\nreading: the bare protocol may stall when a leader dies "
+        "mid-merge; the watchdog\nlets orphaned members revert to "
+        "singleton clusters and re-discover, trading\nextra rounds for "
+        "guaranteed completion among survivors."
+    )
+
+
+if __name__ == "__main__":
+    main()

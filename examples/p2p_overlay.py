@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""P2P overlay formation: from scattered registrations to a sorted ring.
+
+Scenario: peers join a P2P system by registering with a few addresses
+learned out-of-band (a bootstrap list).  To build a structured overlay —
+here a sorted identifier ring, the backbone of DHTs — each peer must
+first discover the identifier space.
+
+This example shows the two-step recipe:
+
+1. *Weak discovery*: run the core algorithm without the final roster
+   broadcast; the surviving cluster leader ends up knowing every peer.
+   This costs only near-linear pointers.
+2. The coordinator computes ring successors and sends each peer its
+   O(1)-size neighbor set — total O(n) pointers, far below the Θ(n²) a
+   full roster broadcast would cost.
+
+Run:  python examples/p2p_overlay.py [peers]
+"""
+
+import sys
+
+import repro
+from repro.sim import SynchronousEngine
+
+
+def main() -> None:
+    peers = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    seed = 99
+
+    print(f"{peers} peers joining with 2 bootstrap addresses each (random ids)\n")
+    graph = repro.make_topology("kout", peers, seed=seed, k=2, id_space="random")
+
+    # Step 1: weak discovery — stop once some peer knows everyone and
+    # everyone knows it.  Run the engine directly to inspect the leader.
+    spec = repro.get_algorithm("sublog")
+    engine = SynchronousEngine(
+        graph,
+        spec.node_factory(completion="none"),
+        seed=seed,
+        goal="weak",
+        algorithm_name="sublog",
+    )
+    result = engine.run(max_rounds=spec.round_cap(peers))
+    assert result.completed, "weak discovery failed"
+    coordinator = engine.weak_leader()
+    print(
+        f"weak discovery: coordinator {coordinator:#x} knows all {peers} "
+        f"peers after {result.rounds} rounds, {result.pointers:,} pointers"
+    )
+
+    # Step 2: the coordinator computes the sorted ring.
+    roster = sorted(engine.knowledge[coordinator])
+    successors = {
+        peer: roster[(index + 1) % len(roster)]
+        for index, peer in enumerate(roster)
+    }
+
+    # Verify the ring is a single cycle covering every peer.
+    seen = []
+    current = roster[0]
+    for _ in range(len(roster)):
+        seen.append(current)
+        current = successors[current]
+    assert current == roster[0] and len(set(seen)) == peers
+    print(
+        f"ring check: walked {len(seen)} successor hops and returned to "
+        "the start — single cycle covering every peer"
+    )
+    print(
+        f"\ndistributing successors costs {peers} messages of 1 pointer "
+        f"each;\na naive full-roster broadcast would cost "
+        f"{peers * (peers - 1):,} pointers."
+    )
+
+
+if __name__ == "__main__":
+    main()

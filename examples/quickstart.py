@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run sub-logarithmic resource discovery and read the costs.
+
+The resource-discovery problem: n machines each start knowing a few other
+machines' addresses (the *knowledge graph*); they must all learn about
+everyone by exchanging messages — and a machine can only message machines
+it already knows.
+
+This script builds the canonical workload (every machine registered with
+3 random peers), runs the paper's algorithm, and compares it against the
+classical Name-Dropper gossip baseline.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    seed = 7
+
+    print(f"Building a random 3-out knowledge graph over {n} machines...")
+    graph = repro.random_k_out(n, seed=seed, k=3)
+    diameter = graph.undirected_diameter(exact=n <= 1500)
+    print(f"  diameter {diameter} -> every algorithm needs >= ceil(log2 D) rounds\n")
+
+    print(f"{'algorithm':<14}{'rounds':>8}{'messages':>12}{'pointers':>14}")
+    for algorithm in ("sublog", "namedropper", "flooding"):
+        result = repro.discover(graph, algorithm=algorithm, seed=seed)
+        assert result.completed
+        print(
+            f"{algorithm:<14}{result.rounds:>8}{result.messages:>12,}"
+            f"{result.pointers:>14,}"
+        )
+
+    print(
+        "\nsublog finishes in a near-constant number of rounds on this "
+        "low-diameter input\n(it is doubly-logarithmic in n) and sends a "
+        "small constant number of messages per\nmachine per phase — the "
+        "two headline properties of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

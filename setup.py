@@ -1,0 +1,5 @@
+"""Thin shim for environments without the `wheel` package (offline legacy
+editable installs); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""repro — a reproduction of "Distributed Resource Discovery in
+Sub-Logarithmic Time" (Haeupler & Malkhi, PODC 2015).
+
+Quickstart::
+
+    import repro
+
+    graph = repro.random_k_out(1024, seed=7, k=3)
+    result = repro.discover(graph, algorithm="sublog", seed=7)
+    print(result.rounds, result.messages)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+evaluation program.  The ⚠ note at the top of DESIGN.md documents that the
+paper's own text was unavailable and how the reconstruction was scoped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from .algorithms import ALGORITHMS, algorithm_names, get_algorithm
+from .core import ClusterSizeObserver, SubLogConfig, SubLogNode
+from .graphs import (
+    ID_SPACES,
+    TOPOLOGIES,
+    KnowledgeGraph,
+    make_topology,
+    path,
+    preferential_attachment,
+    random_k_out,
+)
+from .sim import (
+    FaultPlan,
+    JoinPlan,
+    KnowledgeSizeObserver,
+    Message,
+    Observer,
+    ProtocolNode,
+    ProtocolViolation,
+    RunResult,
+    SynchronousEngine,
+    TraceObserver,
+    crash_fraction_plan,
+    late_join_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ID_SPACES",
+    "TOPOLOGIES",
+    "ClusterSizeObserver",
+    "FaultPlan",
+    "JoinPlan",
+    "KnowledgeGraph",
+    "KnowledgeSizeObserver",
+    "Message",
+    "Observer",
+    "ProtocolNode",
+    "ProtocolViolation",
+    "RunResult",
+    "SubLogConfig",
+    "SubLogNode",
+    "SynchronousEngine",
+    "TraceObserver",
+    "__version__",
+    "algorithm_names",
+    "crash_fraction_plan",
+    "discover",
+    "get_algorithm",
+    "late_join_workload",
+    "make_topology",
+    "path",
+    "preferential_attachment",
+    "random_k_out",
+]
+
+
+def discover(
+    graph: Union[KnowledgeGraph, Mapping[int, Iterable[int]]],
+    algorithm: str = "sublog",
+    *,
+    seed: int = 0,
+    goal: str = "strong",
+    fault_plan: Optional[FaultPlan] = None,
+    join_plan: Optional[JoinPlan] = None,
+    jitter: int = 0,
+    observers: Iterable[Observer] = (),
+    max_rounds: Optional[int] = None,
+    enforce_legality: bool = True,
+    **params: Any,
+) -> RunResult:
+    """Run one resource-discovery protocol to completion.
+
+    Args:
+        graph: Initial knowledge graph (a :class:`KnowledgeGraph` or a
+            mapping ``{node_id: out_neighbors}``).
+        algorithm: Registry name — see :func:`algorithm_names`.
+        seed: Master seed for all protocol and fault randomness.
+        goal: ``"strong"``, ``"weak"``, or ``"strong_alive"``.
+        fault_plan: Optional fault injection plan.
+        join_plan: Optional dynamic-join plan (machines dormant until
+            their join round — see :mod:`repro.sim.churn`).
+        jitter: Bounded-asynchrony knob: messages take 1 .. 1 + jitter
+            rounds to arrive (0 = classic synchronous delivery).
+        observers: Read-only run observers.
+        max_rounds: Round cap; defaults to the algorithm's registered cap.
+        enforce_legality: Verify every message against the communication
+            model (default on; benchmarks may disable for speed).
+        **params: Algorithm parameters (for ``sublog``/``detmerge`` these
+            are :class:`SubLogConfig` fields; e.g. ``resilient=True``).
+
+    Returns:
+        The :class:`RunResult` with rounds/messages/pointers and any
+        observer extras.
+    """
+    spec = get_algorithm(algorithm)
+    engine = SynchronousEngine(
+        graph,
+        spec.node_factory(**params),
+        seed=seed,
+        goal=goal,
+        fault_plan=fault_plan,
+        join_plan=join_plan,
+        jitter=jitter,
+        observers=observers,
+        enforce_legality=enforce_legality,
+        algorithm_name=algorithm,
+        params=params,
+    )
+    n = engine.n
+    cap = max_rounds if max_rounds is not None else spec.round_cap(n)
+    return engine.run(max_rounds=cap)

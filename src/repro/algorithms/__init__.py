@@ -1,0 +1,20 @@
+"""Baseline discovery algorithms and the registry."""
+
+from .base import DiscoveryNode
+from .flooding import FloodingNode
+from .name_dropper import NameDropperNode
+from .pointer_jump import RandomPointerJumpNode
+from .registry import ALGORITHMS, AlgorithmSpec, algorithm_names, get_algorithm
+from .swamping import SwampingNode
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "DiscoveryNode",
+    "FloodingNode",
+    "NameDropperNode",
+    "RandomPointerJumpNode",
+    "SwampingNode",
+    "algorithm_names",
+    "get_algorithm",
+]

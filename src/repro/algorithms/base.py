@@ -1,0 +1,61 @@
+"""Common machinery for discovery protocol implementations.
+
+:class:`DiscoveryNode` extends the simulator's :class:`ProtocolNode` with
+the bookkeeping every gossip-style algorithm needs: knowledge snapshots
+(shared, copy-once frozensets so that a broadcast to many recipients does
+not materialize the pointer set per recipient) and delta tracking (ids
+learned since the last send).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..sim.messages import Message
+from ..sim.node import ProtocolNode
+
+
+class DiscoveryNode(ProtocolNode):
+    """Protocol node with knowledge snapshot/delta helpers."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self._snapshot: Optional[FrozenSet[int]] = None
+        self._sent_before: Set[int] = set()
+
+    def absorb(self, message: Message) -> None:
+        super().absorb(message)
+        self._snapshot = None  # knowledge changed; invalidate cache
+
+    def knowledge_snapshot(self, include_self: bool = True) -> FrozenSet[int]:
+        """A frozen copy of current knowledge, cached until it changes.
+
+        Sharing one frozenset across all recipients of a round keeps the
+        memory cost of full-knowledge broadcasts at O(|known|) per sender
+        per round instead of O(|known| × recipients).
+        """
+        if self._snapshot is None:
+            self._snapshot = frozenset(self.known)
+        if include_self:
+            return self._snapshot
+        return self._snapshot - {self.node_id}
+
+    def unsent_delta(self) -> FrozenSet[int]:
+        """Ids learned since the last :meth:`mark_sent` call (self excluded)."""
+        return frozenset(self.known - self._sent_before - {self.node_id})
+
+    def mark_sent(self) -> None:
+        """Record that everything currently known has been shared."""
+        self._sent_before = set(self.known)
+
+    def pick_random_peer(self) -> Optional[int]:
+        """A uniformly random known machine other than self, or ``None``.
+
+        Sorting before sampling keeps runs deterministic in the seed:
+        Python set iteration order depends on insertion history, which in
+        turn depends on inbox ordering — sorting removes that sensitivity.
+        """
+        peers = sorted(self.known - {self.node_id})
+        if not peers:
+            return None
+        return peers[self.rng.randrange(len(peers))]

@@ -1,0 +1,56 @@
+"""Flooding — the classical O(diameter) baseline.
+
+Each machine repeatedly forwards what it learns to a growing neighbor set:
+its initial out-neighbors plus every machine that has ever messaged it
+(the reverse edge becomes usable as soon as a neighbor introduces itself,
+which happens in round 1).  A neighbor seen for the first time receives the
+machine's full knowledge (so it catches up on earlier deltas); established
+neighbors receive only the new ids.  Information therefore travels one
+undirected hop per round, completing strong discovery in Θ(undirected
+diameter) rounds.
+
+Complexity (weakly connected input, diameter D, E initial edges):
+    rounds   Θ(D)
+    messages O(E · D)  (quiescent senders go silent, so typically less)
+    pointers O(n · E)  — each id crosses each undirected edge O(1) times.
+
+Reference: Harchol-Balter, Leighton, Lewin, PODC 1999 (baseline section).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from ..sim.messages import Message
+from .base import DiscoveryNode
+
+
+class FloodingNode(DiscoveryNode):
+    """One machine running the flooding baseline."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self._neighbors: Set[int] = set()
+        self._greeted: Set[int] = set()
+
+    def setup(self) -> None:
+        self._neighbors = set(self.known - {self.node_id})
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            self._neighbors.add(message.sender)
+
+        delta = self.unsent_delta()
+        self.mark_sent()
+        full = self.knowledge_snapshot(include_self=False)
+        for neighbor in sorted(self._neighbors):
+            if neighbor not in self._greeted:
+                # First contact: ship everything we know so the neighbor
+                # catches up on deltas it missed, and introduce ourselves
+                # (the empty message still reveals our address).
+                self._greeted.add(neighbor)
+                self.send(neighbor, "flood", ids=full - {neighbor})
+            else:
+                payload = delta - {neighbor}
+                if payload:
+                    self.send(neighbor, "flood", ids=payload)

@@ -1,0 +1,43 @@
+"""Random Pointer Jump — the cautionary baseline.
+
+Every round, every machine picks one uniformly random machine it knows and
+*pulls*: it asks the chosen peer for the peer's knowledge; the peer replies
+in the following round with everything it knows.  (The request itself also
+teaches the peer the requester's address, as the model prescribes.)
+
+Harchol-Balter, Leighton and Lewin introduced this algorithm to show that
+naive random gossip can be extremely slow: on star-like and highly skewed
+topologies the expected completion time is polynomial in n, because the
+hub's knowledge grows but the leaves keep pulling from the same place while
+the hub pulls from a random leaf.  The evaluation keeps it as the "what
+goes wrong without structure" anchor; runs that exceed the round cap are
+reported as incomplete rather than retried.
+
+Complexity: Ω(n) rounds on adversarial inputs; O(n log n)-ish on benign
+random graphs (measured, not proven, here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.messages import Message
+from .base import DiscoveryNode
+
+
+class RandomPointerJumpNode(DiscoveryNode):
+    """One machine running random pointer jump (pull gossip)."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        # Serve pulls that arrived this round.
+        requesters: List[int] = [
+            message.sender for message in inbox if message.kind == "pull"
+        ]
+        if requesters:
+            snapshot = self.knowledge_snapshot(include_self=False)
+            for requester in sorted(set(requesters)):
+                self.send(requester, "reply", ids=snapshot - {requester})
+
+        peer = self.pick_random_peer()
+        if peer is not None:
+            self.send(peer, "pull")

@@ -1,0 +1,144 @@
+"""Algorithm registry: build any shipped discovery protocol by name.
+
+Each entry maps a registry name to an :class:`AlgorithmSpec` that knows how
+to construct node factories and how many rounds the algorithm may
+reasonably need (used for per-algorithm round caps in the harness).
+
+Registered algorithms:
+
+========== ============================================================
+name        protocol
+========== ============================================================
+flooding    Θ(D)-round flooding baseline
+swamping    Θ(log D)-round knowledge-squaring baseline (``full=False``
+            for the delta variant)
+rpj         Random Pointer Jump (pull gossip; adversarially slow)
+namedropper Name-Dropper, O(log² n) whp (``mode="pushpull"`` variant)
+sublog      the core sub-logarithmic cluster-merging algorithm
+            (deterministic rank contraction with join-forwarding)
+sublogcoin  randomized star-contraction ablation (``contraction="coin"``;
+            depth-1 merges, Θ(log n) phases)
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from ..core.config import SubLogConfig
+from ..core.sublog import SubLogNode
+from ..sim.node import ProtocolNode
+from .flooding import FloodingNode
+from .name_dropper import NameDropperNode
+from .pointer_jump import RandomPointerJumpNode
+from .swamping import SwampingNode
+
+NodeFactory = Callable[[int], ProtocolNode]
+FactoryBuilder = Callable[..., NodeFactory]
+RoundCapFn = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata and constructors for one registered algorithm."""
+
+    name: str
+    description: str
+    build: FactoryBuilder
+    round_cap: RoundCapFn
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def node_factory(self, **params: Any) -> NodeFactory:
+        merged = dict(self.default_params)
+        merged.update(params)
+        return self.build(**merged)
+
+
+def _log2(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def _flooding_factory() -> NodeFactory:
+    return FloodingNode
+
+
+def _swamping_factory(full: bool = True) -> NodeFactory:
+    return lambda node_id: SwampingNode(node_id, full=full)
+
+
+def _rpj_factory() -> NodeFactory:
+    return RandomPointerJumpNode
+
+
+def _namedropper_factory(mode: str = "push") -> NodeFactory:
+    return lambda node_id: NameDropperNode(node_id, mode=mode)
+
+
+def _sublog_factory(**config_kwargs: Any) -> NodeFactory:
+    config = SubLogConfig(**config_kwargs)
+    return lambda node_id: SubLogNode(node_id, config=config)
+
+
+def _sublogcoin_factory(**config_kwargs: Any) -> NodeFactory:
+    config_kwargs.setdefault("contraction", "coin")
+    return _sublog_factory(**config_kwargs)
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            name="flooding",
+            description="flood new knowledge over discovered edges; Θ(D) rounds",
+            build=_flooding_factory,
+            round_cap=lambda n: 4 * n + 64,
+        ),
+        AlgorithmSpec(
+            name="swamping",
+            description="send everything to everyone known; Θ(log D) rounds",
+            build=_swamping_factory,
+            round_cap=lambda n: 8 * _log2(n) + 32,
+        ),
+        AlgorithmSpec(
+            name="rpj",
+            description="random pointer jump (pull gossip); slow on skewed inputs",
+            build=_rpj_factory,
+            round_cap=lambda n: 40 * n + 200,
+        ),
+        AlgorithmSpec(
+            name="namedropper",
+            description="HBLL Name-Dropper push gossip; O(log^2 n) whp",
+            build=_namedropper_factory,
+            round_cap=lambda n: 20 * _log2(n) ** 2 + 80,
+        ),
+        AlgorithmSpec(
+            name="sublog",
+            description=(
+                "deterministic cluster merging with delegation and join "
+                "forwarding; O(log log n) rounds on low-diameter inputs"
+            ),
+            build=_sublog_factory,
+            round_cap=lambda n: 30 * _log2(n) + 120,
+        ),
+        AlgorithmSpec(
+            name="sublogcoin",
+            description="randomized star-contraction ablation of sublog",
+            build=_sublogcoin_factory,
+            round_cap=lambda n: 60 * _log2(n) + 240,
+        ),
+    )
+}
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    return tuple(sorted(ALGORITHMS))
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(algorithm_names())
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None

@@ -1,0 +1,102 @@
+"""Closed-form complexity predictions.
+
+These are the theoretical reference curves the experiment tables print next
+to the measurements: the ball-containment lower bound, the per-algorithm
+upper-bound shapes, and the cluster-size squaring recurrence of the core
+algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..graphs.knowledge import KnowledgeGraph
+
+
+def log2(n: float) -> float:
+    """log₂ clamped below at 1 (keeps round predictions positive)."""
+    return max(1.0, math.log2(max(2.0, float(n))))
+
+
+def loglog2(n: float) -> float:
+    """log₂ log₂, clamped below at 1."""
+    return max(1.0, math.log2(log2(n)))
+
+
+def lower_bound_rounds(graph: KnowledgeGraph, exact: bool = True) -> int:
+    """Rounds *every* algorithm needs on *graph*: ⌈log₂ diameter⌉.
+
+    After t rounds a machine's knowledge is contained in its 2^t-ball
+    (DESIGN.md section 1), so a machine at undirected distance D from some
+    other machine cannot know it before round ⌈log₂ D⌉.  An input that is
+    already the complete graph needs 0 rounds; any incomplete input needs
+    at least 1 (someone must still be told something).
+    """
+    if graph.n <= 1:
+        return 0
+    if all(len(graph.out(node)) == graph.n - 1 for node in graph.node_ids):
+        return 0
+    diameter = graph.undirected_diameter(exact=exact)
+    if diameter <= 1:
+        return 1
+    return math.ceil(math.log2(diameter))
+
+
+def swamping_round_bound(graph: KnowledgeGraph, exact: bool = True) -> int:
+    """Swamping's round count: ⌈log₂ D⌉ + O(1) (it squares the graph)."""
+    return lower_bound_rounds(graph, exact=exact) + 2
+
+
+def namedropper_round_bound(n: int) -> float:
+    """HBLL's whp bound shape for Name-Dropper: O(log² n)."""
+    return log2(n) ** 2
+
+
+def sublog_phase_bound(n: int) -> float:
+    """Phases of the core algorithm on dense cluster graphs: O(log log n)."""
+    return loglog2(n) + 2
+
+
+def squaring_recurrence(start: int, target: int, growth: float = 2.0) -> List[int]:
+    """The idealized cluster-size trajectory s → s^growth until ≥ target.
+
+    Returns the size after each phase, starting from ``start`` (must be
+    ≥ 2 for the recurrence to progress).  ``growth=2.0`` is pure squaring.
+    """
+    if start < 2:
+        raise ValueError(f"start must be >= 2 for the recurrence, got {start}")
+    if target < start:
+        return [start]
+    sizes = [start]
+    current = float(start)
+    while current < target and len(sizes) < 64:
+        current = min(float(target), current**growth)
+        sizes.append(int(current))
+    return sizes
+
+
+def phases_to_cover(n: int, start: int = 2, growth: float = 2.0) -> int:
+    """Number of squaring phases to grow from ``start`` to ``n``."""
+    return max(0, len(squaring_recurrence(start, n, growth)) - 1)
+
+
+def optimal_message_bound(n: int) -> int:
+    """The trivial Ω(n) message lower bound for discovery.
+
+    Every machine except one must receive at least one message (it cannot
+    otherwise learn anything beyond its initial knowledge), so any
+    algorithm completing strong discovery sends ≥ n - 1 messages.
+    """
+    return max(0, n - 1)
+
+
+def strong_discovery_pointer_bound(n: int) -> int:
+    """Pointer lower bound for *strong* discovery: Ω(n²).
+
+    Each of the n machines must end up knowing n - 1 identifiers, and a
+    machine learns at most one new identifier per pointer received (plus
+    one per message for the sender), so the total pointers + messages
+    received is at least n(n-1) minus the initial knowledge.
+    """
+    return max(0, n * (n - 1) // 2)

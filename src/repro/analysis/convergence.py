@@ -1,0 +1,83 @@
+"""Convergence analysis: how fast knowledge saturates during a run.
+
+Built on the per-round history of
+:class:`repro.sim.observers.KnowledgeSizeObserver`, this module derives
+the *completeness curve* — the fraction of the complete knowledge graph
+known after each round — and the summary statistics experiment writeups
+quote (rounds to 50/90/99% completeness), plus an ASCII sparkline for
+terminal reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Completeness per round (index 0 = before round 1)."""
+
+    n: int
+    completeness: Sequence[float]
+
+    def __post_init__(self) -> None:
+        for value in self.completeness:
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ValueError(f"completeness out of range: {value}")
+
+    @property
+    def rounds(self) -> int:
+        return max(0, len(self.completeness) - 1)
+
+    def rounds_to(self, fraction: float) -> Optional[int]:
+        """First round index at which completeness >= *fraction*."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        for round_index, value in enumerate(self.completeness):
+            if value >= fraction - 1e-12:
+                return round_index
+        return None
+
+    def milestones(self) -> Dict[str, Optional[int]]:
+        return {
+            "t50": self.rounds_to(0.50),
+            "t90": self.rounds_to(0.90),
+            "t99": self.rounds_to(0.99),
+            "t100": self.rounds_to(1.0),
+        }
+
+    def sparkline(self) -> str:
+        """One character per round, density proportional to completeness."""
+        top = len(_SPARK_LEVELS) - 1
+        return "".join(
+            _SPARK_LEVELS[min(top, int(value * top))] for value in self.completeness
+        )
+
+
+def curve_from_history(
+    history: Sequence[Mapping[str, float]], n: int
+) -> ConvergenceCurve:
+    """Build a curve from ``KnowledgeSizeObserver.history`` entries.
+
+    Each history entry carries the mean knowledge-set size (including
+    self); completeness is the mean fraction of *other* machines known.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return ConvergenceCurve(n=1, completeness=[1.0 for _ in history] or [1.0])
+    values: List[float] = []
+    for entry in history:
+        known_others = max(0.0, float(entry["mean"]) - 1.0)
+        values.append(min(1.0, known_others / (n - 1)))
+    return ConvergenceCurve(n=n, completeness=values)
+
+
+def compare_milestones(
+    curves: Mapping[str, ConvergenceCurve]
+) -> Dict[str, Dict[str, Optional[int]]]:
+    """Milestones for several named curves (table-building helper)."""
+    return {name: curve.milestones() for name, curve in curves.items()}

@@ -1,0 +1,110 @@
+"""Growth-model fitting for round-scaling curves.
+
+The asymptotic claims of the paper are about *shapes*: rounds(sublog) ~
+log log n versus rounds(namedropper) ~ log² n.  With laptop-scale n the
+constants matter, so instead of eyeballing, the harness fits each measured
+curve against the candidate growth models by least squares and reports the
+best model and its residuals.  Tests assert the *relative* ordering (the
+sub-logarithmic model fits the core algorithm at least as well as the
+logarithmic one, and strictly better than quadratic-log), which is robust
+at small n.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+ModelFn = Callable[[float], float]
+
+#: Candidate growth models for rounds-vs-n curves.
+GROWTH_MODELS: Dict[str, ModelFn] = {
+    "loglog": lambda n: math.log2(max(2.0, math.log2(max(2.0, n)))),
+    "log": lambda n: math.log2(max(2.0, n)),
+    "log2": lambda n: math.log2(max(2.0, n)) ** 2,
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """Least-squares fit of one growth model to a measured curve."""
+
+    model: str
+    scale: float  # a in y ≈ a·f(n) + b
+    offset: float  # b
+    rmse: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.scale * GROWTH_MODELS[self.model](n) + self.offset
+
+
+def fit_model(
+    sizes: Sequence[float], values: Sequence[float], model: str
+) -> ModelFit:
+    """Fit ``values ≈ a·f(sizes) + b`` for the named growth model."""
+    if model not in GROWTH_MODELS:
+        raise ValueError(f"unknown model {model!r}; known: {sorted(GROWTH_MODELS)}")
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a model")
+    transform = GROWTH_MODELS[model]
+    xs = np.array([transform(float(n)) for n in sizes])
+    ys = np.array([float(v) for v in values])
+    design = np.vstack([xs, np.ones_like(xs)]).T
+    (scale, offset), *_ = np.linalg.lstsq(design, ys, rcond=None)
+    predictions = design @ np.array([scale, offset])
+    residuals = ys - predictions
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    total = float(np.sum((ys - ys.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residuals**2)) / total if total > 0 else 1.0
+    return ModelFit(
+        model=model,
+        scale=float(scale),
+        offset=float(offset),
+        rmse=rmse,
+        r_squared=r_squared,
+    )
+
+
+def fit_all_models(
+    sizes: Sequence[float], values: Sequence[float]
+) -> List[ModelFit]:
+    """Fit every candidate model, best (lowest RMSE) first."""
+    fits = [fit_model(sizes, values, model) for model in GROWTH_MODELS]
+    fits.sort(key=lambda fit: fit.rmse)
+    return fits
+
+
+def best_model(sizes: Sequence[float], values: Sequence[float]) -> ModelFit:
+    """The model with the lowest RMSE on this curve."""
+    return fit_all_models(sizes, values)[0]
+
+
+def compare_models(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    candidate: str,
+    against: str,
+) -> Tuple[ModelFit, ModelFit]:
+    """Fits of two named models, for relative-shape assertions in tests."""
+    return (
+        fit_model(sizes, values, candidate),
+        fit_model(sizes, values, against),
+    )
+
+
+def describe_fits(fits: Sequence[ModelFit]) -> str:
+    """Render fits as a compact table fragment for experiment output."""
+    lines = [
+        f"  {fit.model:>7}: y = {fit.scale:8.3f}*f(n) + {fit.offset:8.3f}  "
+        f"rmse={fit.rmse:7.3f}  R^2={fit.r_squared:6.3f}"
+        for fit in fits
+    ]
+    return "\n".join(lines)

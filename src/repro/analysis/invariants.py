@@ -1,0 +1,150 @@
+"""Runtime invariant checkers.
+
+Three invariants tie the simulator to the theory (DESIGN.md section 1):
+
+* **Ball containment** — for every algorithm, after t rounds a machine can
+  know only machines within undirected distance 2^t of it in the initial
+  graph.  This is the information-propagation lower bound; checking it at
+  runtime simultaneously validates the simulator (no illegal channel
+  exists) and every algorithm (no cheating).
+* **Knowledge monotonicity** — knowledge sets never shrink.
+* **View consistency** — each protocol node's private view of its
+  knowledge equals the engine's ground truth.
+
+The checkers are observers; attach them via ``discover(observers=[...])``.
+They record violations and can raise immediately (``strict=True``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..graphs.knowledge import KnowledgeGraph
+from ..sim.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import SynchronousEngine
+
+
+class InvariantViolation(AssertionError):
+    """An invariant checker observed an impossible state."""
+
+
+class BallContainmentObserver(Observer):
+    """Checks knowledge_t(v) ⊆ B_{2^t}(v) every round.
+
+    Cost: one all-pairs BFS at setup (O(n·E)) plus O(total knowledge) per
+    round — intended for test- and experiment-scale runs (n up to a few
+    thousand).  Checking stops automatically once 2^t reaches the graph
+    diameter, after which the bound is vacuous.
+
+    Args:
+        graph: The *initial* knowledge graph of the run.
+        strict: Raise :class:`InvariantViolation` on the first violation
+            instead of merely recording it.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, strict: bool = True) -> None:
+        self.graph = graph
+        self.strict = strict
+        self.violations: List[Dict[str, int]] = []
+        self.max_radius_by_round: List[int] = []
+        self._distances: Dict[int, Dict[int, int]] = {}
+        self._diameter = 0
+        self._done = False
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        if set(engine.node_ids) != set(self.graph.node_ids):
+            raise ValueError("observer graph does not match the engine's node set")
+        for node in self.graph.node_ids:
+            self._distances[node] = self.graph.undirected_distances(node)
+        self._diameter = max(
+            max(per_node.values()) for per_node in self._distances.values()
+        )
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        if self._done:
+            return
+        allowed = 1 << round_no  # 2^round_no
+        observed_max = 0
+        for node in engine.node_ids:
+            distances = self._distances[node]
+            for known in engine.knowledge[node]:
+                distance = distances.get(known)
+                if distance is None:
+                    continue  # different weak component (fault scenarios)
+                if distance > observed_max:
+                    observed_max = distance
+                if distance > allowed:
+                    record = {
+                        "round": round_no,
+                        "node": node,
+                        "knows": known,
+                        "distance": distance,
+                        "allowed": allowed,
+                    }
+                    self.violations.append(record)
+                    if self.strict:
+                        raise InvariantViolation(
+                            f"round {round_no}: node {node} knows {known} at "
+                            f"undirected distance {distance} > 2^t = {allowed}"
+                        )
+        self.max_radius_by_round.append(observed_max)
+        if allowed >= self._diameter:
+            self._done = True  # bound is vacuous from here on
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "ball_violations": list(self.violations),
+            "max_knowledge_radius": list(self.max_radius_by_round),
+        }
+
+
+class MonotonicityObserver(Observer):
+    """Checks that ground-truth knowledge sets never shrink."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.violations: List[Dict[str, int]] = []
+        self._previous_sizes: Dict[int, int] = {}
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        self._previous_sizes = {
+            node: len(knowledge) for node, knowledge in engine.knowledge.items()
+        }
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        for node, knowledge in engine.knowledge.items():
+            size = len(knowledge)
+            if size < self._previous_sizes[node]:
+                record = {"round": round_no, "node": node, "size": size}
+                self.violations.append(record)
+                if self.strict:
+                    raise InvariantViolation(
+                        f"round {round_no}: node {node} knowledge shrank"
+                    )
+            self._previous_sizes[node] = size
+
+    def extra(self) -> Dict[str, Any]:
+        return {"monotonicity_violations": list(self.violations)}
+
+
+def verify_view_consistency(engine: "SynchronousEngine") -> Optional[str]:
+    """Compare each live node's private view with the ground truth.
+
+    Returns ``None`` when consistent, else a description of the first
+    mismatch.  Call after :meth:`SynchronousEngine.run` returns.
+    """
+    for node_id in engine.node_ids:
+        if node_id in engine.crashed_nodes:
+            continue
+        protocol_view = engine.nodes[node_id].known
+        ground_truth = engine.knowledge[node_id]
+        if protocol_view != ground_truth:
+            missing = ground_truth - protocol_view
+            extra = protocol_view - ground_truth
+            return (
+                f"node {node_id}: view differs from ground truth "
+                f"(missing {sorted(missing)[:5]}, extra {sorted(extra)[:5]})"
+            )
+    return None

@@ -1,0 +1,36 @@
+"""Applications built on resource discovery.
+
+Resource discovery is rarely the end goal: it is the bootstrap step that
+makes structured overlays, censuses, and coordination possible.  This
+package contains the canonical downstream constructions, implemented over
+the library's public API:
+
+* :mod:`repro.apps.overlay` — sorted rings and k-ary broadcast trees from
+  a discovered roster (the DHT/overlay bootstrap of the HBLL motivation).
+* :mod:`repro.apps.census` — leader-computed global aggregates (count,
+  extrema) at weak-discovery cost, without the Θ(n²) strong-discovery
+  pointer bill.
+"""
+
+from .census import Census, leader_census
+from .overlay import (
+    RingResult,
+    broadcast_tree,
+    expected_tree_depth,
+    form_ring,
+    ring_successors,
+    tree_depth,
+    verify_ring,
+)
+
+__all__ = [
+    "Census",
+    "RingResult",
+    "broadcast_tree",
+    "expected_tree_depth",
+    "form_ring",
+    "leader_census",
+    "ring_successors",
+    "tree_depth",
+    "verify_ring",
+]

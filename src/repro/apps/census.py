@@ -1,0 +1,88 @@
+"""Global aggregates at weak-discovery cost.
+
+Many coordination tasks need only a *summary* of the fleet — how many
+machines exist, the extreme identifiers (classic leader election), a
+seeded sample for monitoring.  All of these are computable by the
+coordinator that weak discovery produces, for O(n·polylog) pointers,
+without ever paying the Θ(n²) bill of full (strong) discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..algorithms.registry import get_algorithm
+from ..graphs.knowledge import KnowledgeGraph
+from ..sim.engine import SynchronousEngine
+from ..sim.metrics import RunResult
+from ..sim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Census:
+    """Fleet summary computed by the discovery coordinator."""
+
+    coordinator: int
+    count: int
+    min_id: int
+    max_id: int
+    sample: Tuple[int, ...]
+    discovery: RunResult
+
+    @property
+    def elected_leader(self) -> int:
+        """Smallest identifier — the classic deterministic election rule."""
+        return self.min_id
+
+
+def leader_census(
+    graph: KnowledgeGraph,
+    seed: int = 0,
+    algorithm: str = "sublog",
+    sample_size: int = 5,
+    max_rounds: Optional[int] = None,
+) -> Census:
+    """Run weak discovery on *graph* and summarize the fleet.
+
+    Args:
+        graph: Weakly connected initial knowledge graph.
+        seed: Master seed (drives discovery and the census sample).
+        algorithm: Discovery algorithm (``sublog`` by default).
+        sample_size: Size of the deterministic random sample included in
+            the census (capped at the fleet size).
+        max_rounds: Round cap override.
+
+    Raises:
+        RuntimeError: If discovery does not complete within the cap.
+    """
+    if sample_size < 0:
+        raise ValueError(f"sample_size must be >= 0, got {sample_size}")
+    spec = get_algorithm(algorithm)
+    params = {"completion": "none"} if algorithm in ("sublog", "sublogcoin") else {}
+    engine = SynchronousEngine(
+        graph,
+        spec.node_factory(**params),
+        seed=seed,
+        goal="weak",
+        algorithm_name=algorithm,
+        params=params,
+    )
+    cap = max_rounds if max_rounds is not None else spec.round_cap(graph.n)
+    result = engine.run(max_rounds=cap)
+    if not result.completed:
+        raise RuntimeError(f"weak discovery did not complete within {cap} rounds")
+    coordinator = engine.weak_leader()
+    assert coordinator is not None
+    roster: List[int] = sorted(engine.knowledge[coordinator])
+    rng = derive_rng(seed, "census-sample")
+    size = min(sample_size, len(roster))
+    sample = tuple(sorted(rng.sample(roster, size))) if size else ()
+    return Census(
+        coordinator=coordinator,
+        count=len(roster),
+        min_id=roster[0],
+        max_id=roster[-1],
+        sample=sample,
+        discovery=result,
+    )

@@ -1,0 +1,25 @@
+"""Benchmark harness: sweep runner, tables, scales, and experiments."""
+
+from .runner import Case, build_graph, index_results, run_case, sweep
+from .seeds import CANONICAL_SEEDS, SCALES, Scale, bench_scale
+from .store import load_metadata, load_results, save_results
+from .tables import ExperimentReport, Figure, Series, Table
+
+__all__ = [
+    "CANONICAL_SEEDS",
+    "Case",
+    "ExperimentReport",
+    "Figure",
+    "SCALES",
+    "Scale",
+    "Series",
+    "Table",
+    "bench_scale",
+    "build_graph",
+    "index_results",
+    "load_metadata",
+    "load_results",
+    "run_case",
+    "save_results",
+    "sweep",
+]

@@ -1,0 +1,60 @@
+"""Experiment registry: one module per evaluation table/figure.
+
+Each module exposes ``EXPERIMENT_ID``, ``TITLE``, and
+``run(scale) -> ExperimentReport``.  The registry is consumed by the CLI
+(``python -m repro experiment T1``) and by the pytest-benchmark drivers in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Dict, Tuple
+
+from . import (
+    f1_scaling,
+    f2_cluster_growth,
+    f3_topologies,
+    f4_lower_bound,
+    f5_convergence,
+    t1_headline,
+    t2_messages,
+    t3_faults,
+    t4_weak_strong,
+    t5_ablations,
+    t6_churn,
+    t7_asynchrony,
+    t8_load,
+)
+
+_MODULES: Tuple[ModuleType, ...] = (
+    t1_headline,
+    t2_messages,
+    f1_scaling,
+    f2_cluster_growth,
+    f3_topologies,
+    f4_lower_bound,
+    f5_convergence,
+    t3_faults,
+    t4_weak_strong,
+    t5_ablations,
+    t6_churn,
+    t7_asynchrony,
+    t8_load,
+)
+
+EXPERIMENTS: Dict[str, ModuleType] = {
+    module.EXPERIMENT_ID: module for module in _MODULES
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key]

@@ -1,0 +1,67 @@
+"""F2 — cluster-growth dynamics of the core algorithm.
+
+Plots (as a series table) the per-phase cluster count and min/median/max
+cluster sizes on one large random 3-out input, next to the idealized
+squaring recurrence.  This is the mechanism figure: the doubly-exponential
+collapse in cluster count is what makes the round complexity
+doubly-logarithmic.
+"""
+
+from __future__ import annotations
+
+from ...analysis.bounds import squaring_recurrence
+from ...core.observers import ClusterSizeObserver
+from ..runner import Case, run_case
+from ..seeds import Scale
+from ..tables import ExperimentReport, Table
+
+EXPERIMENT_ID = "F2"
+TITLE = "Cluster-size dynamics per phase (sublog)"
+
+
+def run(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    n = scale.big_n
+    observer = ClusterSizeObserver()
+    case = Case(
+        algorithm="sublog",
+        topology="kout",
+        n=n,
+        seed=scale.seeds[0],
+        topology_params={"k": 3},
+    )
+    result = run_case(case, observers=[observer])
+
+    table = Table(
+        f"F2: sublog cluster dynamics (kout, k=3, n={n})",
+        ["phase", "clusters", "min-size", "median-size", "max-size", "ideal-sq"],
+        caption="ideal-sq: the pure squaring recurrence 2, 4, 16, ... capped at n",
+    )
+    ideal = squaring_recurrence(2, n)
+    for entry in observer.history:
+        phase = int(entry["phase"])
+        ideal_value = ideal[min(phase, len(ideal) - 1)] if phase >= 0 else 2
+        table.add_row(
+            phase,
+            int(entry["clusters"]),
+            int(entry["min"]),
+            int(entry["median"]),
+            int(entry["max"]),
+            ideal_value,
+        )
+    report.add(table)
+    report.note(
+        f"completed={result.completed} rounds={result.rounds} "
+        f"messages={result.messages:,} pointers={result.pointers:,}"
+    )
+    phases = [h for h in observer.history if h["phase"] > 0]
+    merged_by = next(
+        (h["phase"] for h in phases if h["clusters"] == 1), phases[-1]["phase"]
+    )
+    report.note(f"single cluster reached by phase {merged_by}")
+    report.summary = {
+        "history": observer.history,
+        "rounds": result.rounds,
+        "merged_by_phase": merged_by,
+    }
+    return report

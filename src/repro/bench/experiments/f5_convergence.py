@@ -1,0 +1,78 @@
+"""F5 — convergence curves: how completeness saturates round by round.
+
+For each algorithm at a fixed n, the figure series is the fraction of the
+complete knowledge graph known after each round (mean over machines),
+with the t50/t90/t99/t100 milestone table beside it.
+
+The story: swamping saturates almost instantly (it squares the graph but
+pays cubic pointers), namedropper rises smoothly (every round spreads a
+constant factor), and sublog is *stepped* — completeness jumps at phase
+boundaries and spikes at the final roster broadcast, the visual signature
+of the cluster-merging mechanism.
+"""
+
+from __future__ import annotations
+
+from ...analysis.convergence import curve_from_history
+from ...sim.observers import KnowledgeSizeObserver
+from ..runner import Case, run_case
+from ..seeds import Scale
+from ..tables import ExperimentReport, Figure, Table
+
+EXPERIMENT_ID = "F5"
+TITLE = "Knowledge completeness per round (convergence curves)"
+
+ALGORITHMS = ("sublog", "namedropper", "swamping")
+
+
+def run(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    n = scale.focus_n
+    curves = {}
+    for algorithm in ALGORITHMS:
+        case = Case(
+            algorithm=algorithm,
+            topology="kout",
+            n=n,
+            seed=scale.seeds[0],
+            params={"full": False} if algorithm == "swamping" else {},
+            topology_params={"k": 3},
+        )
+        observer = KnowledgeSizeObserver()
+        result = run_case(case, observers=[observer])
+        assert result.completed
+        curves[algorithm] = curve_from_history(observer.history, n=n)
+
+    depth = max(curve.rounds for curve in curves.values()) + 1
+    rounds_axis = list(range(depth))
+    figure = Figure(
+        f"F5: mean completeness per round (kout, k=3, n={n})",
+        "round",
+        rounds_axis,
+        caption="1.0 = every machine knows every other",
+    )
+    for algorithm, curve in curves.items():
+        values = list(curve.completeness)
+        values += [1.0] * (depth - len(values))
+        figure.add_series(algorithm, [round(v, 4) for v in values])
+    report.add(figure)
+
+    milestones = Table(
+        "F5b: rounds to completeness milestones",
+        ["algorithm", "t50", "t90", "t99", "t100", "sparkline"],
+    )
+    for algorithm, curve in curves.items():
+        stones = curve.milestones()
+        milestones.add_row(
+            algorithm,
+            stones["t50"],
+            stones["t90"],
+            stones["t99"],
+            stones["t100"],
+            curve.sparkline(),
+        )
+    report.add(milestones)
+    report.summary = {
+        algorithm: curve.milestones() for algorithm, curve in curves.items()
+    }
+    return report

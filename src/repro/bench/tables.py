@@ -1,0 +1,151 @@
+"""Plain-text tables and figure series for experiment reports.
+
+The benchmark harness regenerates each evaluation artifact as an ASCII
+:class:`Table` (for paper-style tables) or as a :class:`Series` block (for
+figures, rendered as aligned columns of x/y series — the data a plot would
+show).  Both render deterministically, so report files diff cleanly across
+runs with the same seeds.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+class Table:
+    """A titled, column-aligned plain-text table."""
+
+    def __init__(
+        self, title: str, columns: Sequence[str], caption: str = ""
+    ) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.caption = caption
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([_format_cell(value) for value in values])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        return [list(row) for row in self._rows]
+
+    def column(self, name: str) -> List[str]:
+        index = self.columns.index(name)
+        return [row[index] for row in self._rows]
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        if self.caption:
+            out.write(f"{self.caption}\n")
+        header = "  ".join(
+            column.ljust(width) for column, width in zip(self.columns, widths)
+        )
+        out.write(header.rstrip() + "\n")
+        out.write("  ".join("-" * width for width in widths) + "\n")
+        for row in self._rows:
+            line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            out.write(line.rstrip() + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self._rows:
+            lines.append(",".join(cell.replace(",", "") for cell in row))
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Series:
+    """One named y-series over a shared x-axis (a figure's line)."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+
+class Figure:
+    """Figure data rendered as aligned x/series columns.
+
+    Absolute plotting is left to the reader; the rendered block contains
+    exactly the numbers the corresponding paper figure would plot.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        x_values: Sequence[float],
+        caption: str = "",
+    ) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.x_values = list(x_values)
+        self.caption = caption
+        self.series: List[Series] = []
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x-axis has "
+                f"{len(self.x_values)}"
+            )
+        self.series.append(Series(name=name, values=values))
+
+    def render(self) -> str:
+        table = Table(
+            self.title,
+            [self.x_label, *(series.name for series in self.series)],
+            caption=self.caption,
+        )
+        for index, x in enumerate(self.x_values):
+            table.add_row(x, *(series.values[index] for series in self.series))
+        return table.render()
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced: tables, figures, free-form notes."""
+
+    experiment_id: str
+    title: str
+    artifacts: List[Any] = field(default_factory=list)  # Table | Figure
+    notes: List[str] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, artifact: Any) -> None:
+        self.artifacts.append(artifact)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"######## {self.experiment_id}: {self.title} ########\n\n")
+        for artifact in self.artifacts:
+            out.write(artifact.render())
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro`` / ``repro-discover``.
+
+Sub-commands:
+
+* ``list`` — show registered algorithms, topologies, and experiments.
+* ``run`` — one discovery run, printing the complexity summary::
+
+      python -m repro run --topology kout --n 512 --algorithm sublog
+
+* ``experiment`` — regenerate an evaluation table/figure (or ``all``)::
+
+      python -m repro experiment T1 --scale small
+      python -m repro experiment all --scale full --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .algorithms.registry import ALGORITHMS, algorithm_names
+from .bench.experiments import EXPERIMENTS, get_experiment
+from .bench.seeds import SCALES, bench_scale
+from .graphs.generators import TOPOLOGIES, make_topology
+from .sim.faults import FaultPlan
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name in algorithm_names():
+        print(f"  {name:12s} {ALGORITHMS[name].description}")
+    print("topologies:")
+    for name in sorted(TOPOLOGIES):
+        print(f"  {name}")
+    print("experiments:")
+    for experiment_id, module in EXPERIMENTS.items():
+        print(f"  {experiment_id:4s} {module.TITLE}")
+    print(f"scales: {', '.join(SCALES)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from . import discover  # late import keeps --help fast
+    from .analysis.convergence import curve_from_history
+    from .sim.observers import KnowledgeSizeObserver
+    from .sim.trace import TraceObserver
+
+    graph = make_topology(args.topology, args.n, seed=args.seed, id_space=args.id_space)
+    fault_plan = FaultPlan(loss_rate=args.loss, seed=args.seed) if args.loss else None
+    params = {}
+    if args.algorithm in ("sublog", "sublogcoin") and args.loss:
+        params = {"resilient": True, "stagnation_phases": 4}
+    observers = []
+    trace_observer = None
+    size_observer = None
+    if args.trace:
+        trace_observer = TraceObserver()
+        observers.append(trace_observer)
+    if args.sparkline:
+        size_observer = KnowledgeSizeObserver()
+        observers.append(size_observer)
+    started = time.perf_counter()
+    result = discover(
+        graph,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        goal=args.goal,
+        fault_plan=fault_plan,
+        observers=observers,
+        **params,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"algorithm : {result.algorithm}")
+    print(f"topology  : {args.topology} (n={args.n}, seed={args.seed})")
+    print(f"goal      : {args.goal}")
+    print(f"completed : {result.completed}")
+    print(f"rounds    : {result.rounds}")
+    print(f"messages  : {result.messages:,}")
+    print(f"pointers  : {result.pointers:,}")
+    print(f"bits      : {result.bits:,}")
+    if result.dropped_messages:
+        print(f"dropped   : {result.dropped_messages:,}")
+    print(f"wall time : {elapsed:.2f}s")
+    if size_observer is not None:
+        curve = curve_from_history(size_observer.history, n=args.n)
+        print(f"converge  : {curve.sparkline()}")
+        stones = curve.milestones()
+        print(
+            "milestones: "
+            + "  ".join(f"{name}={value}" for name, value in stones.items())
+        )
+    if trace_observer is not None:
+        with open(args.trace, "w") as stream:
+            count = trace_observer.write_jsonl(stream)
+        print(f"trace     : {count:,} events -> {args.trace}")
+    return 0 if result.completed else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = bench_scale(args.scale)
+    if args.experiment.lower() == "all":
+        ids = list(EXPERIMENTS)
+    else:
+        ids = [args.experiment.upper()]
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for experiment_id in ids:
+        module = get_experiment(experiment_id)
+        started = time.perf_counter()
+        report = module.run(scale)
+        elapsed = time.perf_counter() - started
+        text = report.render()
+        print(text)
+        print(f"({experiment_id} took {elapsed:.1f}s at scale={scale.name})\n")
+        if out_dir:
+            (out_dir / f"{experiment_id}.txt").write_text(text)
+    return failures
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.runner import sweep
+    from .bench.store import save_results
+
+    started = time.perf_counter()
+    results = sweep(args.algorithms, args.topology, args.sizes, args.seeds)
+    elapsed = time.perf_counter() - started
+    count = save_results(
+        results,
+        args.out,
+        metadata={
+            "topology": args.topology,
+            "sizes": args.sizes,
+            "seeds": args.seeds,
+            "algorithms": args.algorithms,
+        },
+    )
+    incomplete = sum(1 for result in results if not result.completed)
+    print(f"saved {count} results to {args.out} in {elapsed:.1f}s")
+    if incomplete:
+        print(f"warning: {incomplete} runs hit the round cap")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Distributed Resource Discovery in "
+            "Sub-Logarithmic Time' (Haeupler & Malkhi, PODC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list algorithms/topologies/experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one discovery")
+    run_parser.add_argument("--algorithm", default="sublog", choices=algorithm_names())
+    run_parser.add_argument("--topology", default="kout", choices=sorted(TOPOLOGIES))
+    run_parser.add_argument("--n", type=int, default=256)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--goal", default="strong", choices=("strong", "weak", "strong_alive")
+    )
+    run_parser.add_argument("--loss", type=float, default=0.0, help="message loss rate")
+    run_parser.add_argument("--id-space", default="dense", choices=("dense", "random"))
+    run_parser.add_argument(
+        "--trace", default=None, metavar="FILE", help="write a JSONL message trace"
+    )
+    run_parser.add_argument(
+        "--sparkline",
+        action="store_true",
+        help="print the convergence sparkline and milestones",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    experiment_parser = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment_parser.add_argument(
+        "experiment", help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'"
+    )
+    experiment_parser.add_argument("--scale", default=None, choices=tuple(SCALES))
+    experiment_parser.add_argument("--out", default=None, help="directory for .txt reports")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run an algorithm x size matrix and save JSON results"
+    )
+    sweep_parser.add_argument(
+        "--algorithms", nargs="+", default=["sublog", "namedropper"],
+        choices=algorithm_names(),
+    )
+    sweep_parser.add_argument("--topology", default="kout", choices=sorted(TOPOLOGIES))
+    sweep_parser.add_argument("--sizes", nargs="+", type=int, default=[64, 128, 256])
+    sweep_parser.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
+    sweep_parser.add_argument("--out", required=True, help="JSON results file")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The core contribution: sub-logarithmic resource discovery."""
+
+from .config import COMPLETIONS, CONTRACTIONS, SubLogConfig
+from .observers import ClusterSizeObserver, cluster_sizes
+from .phases import (
+    ROUNDS_PER_PHASE,
+    STEP_ABSORB,
+    STEP_ASSIGN,
+    STEP_DECIDE,
+    STEP_FORWARD,
+    STEP_INVITE,
+    STEP_NAMES,
+    STEP_REPORT,
+    phase_of,
+    rounds_for_phases,
+    step_of,
+)
+from .sublog import SubLogNode
+
+__all__ = [
+    "COMPLETIONS",
+    "CONTRACTIONS",
+    "ROUNDS_PER_PHASE",
+    "STEP_ABSORB",
+    "STEP_ASSIGN",
+    "STEP_DECIDE",
+    "STEP_FORWARD",
+    "STEP_INVITE",
+    "STEP_NAMES",
+    "STEP_REPORT",
+    "ClusterSizeObserver",
+    "SubLogConfig",
+    "SubLogNode",
+    "cluster_sizes",
+    "phase_of",
+    "rounds_for_phases",
+    "step_of",
+]

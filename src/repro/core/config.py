@@ -1,0 +1,96 @@
+"""Configuration for the sub-logarithmic discovery algorithm.
+
+Every reconstruction decision called out in DESIGN.md section 2 is a field
+here, so the ablation experiments (T5) can toggle them one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Merge-decision rules (see :mod:`repro.core.sublog`).
+CONTRACTIONS = ("coin", "rank")
+
+#: Completion behaviors: broadcast the roster for strong discovery, or stop
+#: at the leader knowing everyone (weak discovery).
+COMPLETIONS = ("broadcast", "none")
+
+
+@dataclass(frozen=True)
+class SubLogConfig:
+    """Tunable parameters of :class:`repro.core.sublog.SubLogNode`.
+
+    Attributes:
+        contraction: ``"rank"`` (default) — deterministic component
+            contraction: a cluster joins its largest inviter whenever that
+            inviter's (size, id) exceeds its own, and merge *chains* are
+            collapsed by join-forwarding (one hop per round, overlapping
+            subsequent phases).  Whole chains of clusters coalesce per
+            phase, which is what produces the doubly-exponential drop in
+            cluster count — the sub-logarithmic headline.
+            ``"coin"`` — randomized star contraction (tails join head
+            inviters).  Merges are guaranteed depth-1 (no forwarding), but
+            only about half the clusters merge per phase, so the phase
+            count is Θ(log n); kept as the chain-free ablation (T5).
+        delegation: When ``True`` (default) the leader spreads invite work
+            across the whole cluster, letting a size-s cluster contact up
+            to s other clusters per phase — the mechanism behind
+            cluster-size squaring.  When ``False`` the leader sends all
+            invites itself (ablation: still correct, same message count,
+            but loses nothing in this model where per-round sends are
+            unbounded; measured in T5 to document that the model, not the
+            implementation, is what delegation exploits).
+        spread_limit: Maximum invite targets assigned to one member per
+            phase (``None`` = unlimited).  ``spread_limit=1`` is the
+            purest squaring regime: cluster degree per phase equals
+            cluster size.
+        resilient: Message-loss hardening — members re-report their full
+            contact sets every phase and the leader keeps pool entries
+            after assigning them, so a lost invite is retried until the
+            clusters merge.  Costs extra pointers; required whenever the
+            fault plan drops messages.
+        watchdog_phases: If set, a member that has not heard an ``assign``
+            heartbeat from its leader for this many consecutive phases
+            reverts to a singleton cluster seeded with everything it
+            knows.  This is the crash-failure recovery path; ``None``
+            disables it.
+        completion: ``"broadcast"`` — when a leader's frontier empties it
+            broadcasts its roster so every member reaches full knowledge
+            (strong discovery); ``"none"`` — skip the broadcast (weak
+            discovery runs, experiment T4).
+        stagnation_phases: If set, a leader whose pool is non-empty but has
+            made no roster progress for this many consecutive phases
+            broadcasts its roster anyway.  Needed under crash faults:
+            identifiers of dead machines stay in the pool forever (they
+            never answer invites), which would otherwise suppress the
+            completion broadcast.  ``None`` disables (fault-free default).
+    """
+
+    contraction: str = "rank"
+    delegation: bool = True
+    spread_limit: Optional[int] = None
+    resilient: bool = False
+    watchdog_phases: Optional[int] = None
+    completion: str = "broadcast"
+    stagnation_phases: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.contraction not in CONTRACTIONS:
+            raise ValueError(
+                f"contraction must be one of {CONTRACTIONS}, got {self.contraction!r}"
+            )
+        if self.completion not in COMPLETIONS:
+            raise ValueError(
+                f"completion must be one of {COMPLETIONS}, got {self.completion!r}"
+            )
+        if self.spread_limit is not None and self.spread_limit < 1:
+            raise ValueError(f"spread_limit must be >= 1, got {self.spread_limit}")
+        if self.watchdog_phases is not None and self.watchdog_phases < 1:
+            raise ValueError(
+                f"watchdog_phases must be >= 1, got {self.watchdog_phases}"
+            )
+        if self.stagnation_phases is not None and self.stagnation_phases < 1:
+            raise ValueError(
+                f"stagnation_phases must be >= 1, got {self.stagnation_phases}"
+            )

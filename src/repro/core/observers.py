@@ -1,0 +1,66 @@
+"""Observers specific to the sub-logarithmic algorithm.
+
+:class:`ClusterSizeObserver` records the cluster-size distribution at the
+end of every phase — the raw data behind experiment F2 (the squaring
+recurrence) and the per-phase progress narrative in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from ..sim.observers import Observer
+from .phases import ROUNDS_PER_PHASE
+from .sublog import SubLogNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import SynchronousEngine
+
+
+def cluster_sizes(engine: "SynchronousEngine") -> List[int]:
+    """Current cluster sizes, read from the leaders' rosters.
+
+    Machines whose protocol node is not a :class:`SubLogNode` are ignored.
+    Mid-merge snapshots can transiently double-count a machine whose
+    welcome is in flight; sizes are instrumentation, not protocol state.
+    """
+    sizes = []
+    for node in engine.nodes.values():
+        if isinstance(node, SubLogNode) and node.is_leader:
+            sizes.append(len(node.roster))
+    return sorted(sizes)
+
+
+class ClusterSizeObserver(Observer):
+    """Snapshots cluster-size statistics at every phase boundary."""
+
+    def __init__(self) -> None:
+        self.history: List[Dict[str, float]] = []
+
+    def _snapshot(self, engine: "SynchronousEngine", phase: int) -> None:
+        sizes = cluster_sizes(engine)
+        if not sizes:
+            return
+        self.history.append(
+            {
+                "phase": phase,
+                "clusters": len(sizes),
+                "min": float(sizes[0]),
+                "median": float(sizes[len(sizes) // 2]),
+                "max": float(sizes[-1]),
+            }
+        )
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        self._snapshot(engine, 0)
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        if round_no % ROUNDS_PER_PHASE == 0:
+            self._snapshot(engine, round_no // ROUNDS_PER_PHASE)
+
+    def on_finish(self, engine: "SynchronousEngine", completed: bool) -> None:
+        if engine.round_no % ROUNDS_PER_PHASE != 0:
+            self._snapshot(engine, engine.round_no // ROUNDS_PER_PHASE + 1)
+
+    def extra(self) -> Dict[str, Any]:
+        return {"cluster_phases": list(self.history)}

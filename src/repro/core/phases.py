@@ -1,0 +1,41 @@
+"""Phase/step arithmetic for the sub-logarithmic algorithm.
+
+A *phase* is :data:`ROUNDS_PER_PHASE` consecutive rounds executing the
+fixed step schedule of DESIGN.md section 2.  Rounds are 1-based (the
+engine's convention); phases are 1-based too.
+"""
+
+from __future__ import annotations
+
+#: Step indices within a phase (round order).
+STEP_REPORT = 0  #: members ship contact sets to their leader
+STEP_ASSIGN = 1  #: leader dedupes the pool and delegates invite targets
+STEP_INVITE = 2  #: members invite their assigned targets
+STEP_FORWARD = 3  #: invite recipients forward to their own leader
+STEP_DECIDE = 4  #: leaders run the contraction rule; tails send joins
+STEP_ABSORB = 5  #: heads absorb joiners and send welcomes
+
+ROUNDS_PER_PHASE = 6
+
+STEP_NAMES = ("report", "assign", "invite", "forward", "decide", "absorb")
+
+
+def step_of(round_no: int) -> int:
+    """The step index executed in 1-based round *round_no*."""
+    if round_no < 1:
+        raise ValueError(f"rounds are 1-based, got {round_no}")
+    return (round_no - 1) % ROUNDS_PER_PHASE
+
+
+def phase_of(round_no: int) -> int:
+    """The 1-based phase containing 1-based round *round_no*."""
+    if round_no < 1:
+        raise ValueError(f"rounds are 1-based, got {round_no}")
+    return (round_no - 1) // ROUNDS_PER_PHASE + 1
+
+
+def rounds_for_phases(phases: int) -> int:
+    """Rounds spanned by the first *phases* complete phases."""
+    if phases < 0:
+        raise ValueError(f"phases must be >= 0, got {phases}")
+    return phases * ROUNDS_PER_PHASE

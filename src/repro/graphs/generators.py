@@ -1,0 +1,372 @@
+"""Topology generators for discovery workloads.
+
+Each generator builds the *initial* knowledge graph of a scenario: which
+machines register with, or are configured to know, which others.  All
+generators are deterministic in their ``seed``, produce weakly connected
+graphs (augmenting minimally when a random draw is disconnected — see
+:func:`ensure_weakly_connected`), and can emit either dense or random
+identifier namespaces (see :mod:`repro.graphs.idspace`).
+
+The family covers the regimes the evaluation needs:
+
+* **high-diameter** inputs (path, cycle, grid, lollipop) where the
+  ball-containment bound forces Ω(log n) rounds on *every* algorithm;
+* **low-diameter** inputs (random k-out, G(n,p), hypercube, preferential
+  attachment) where sub-logarithmic discovery is possible and the core
+  algorithm should hit O(log log n);
+* **pathological shapes** (stars, deep trees, clustered bridges) known to
+  separate the classical baselines (e.g. Random Pointer Jump stalls on
+  star-like inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from ..sim.rng import derive_rng
+from .idspace import make_id_mapping
+from .knowledge import KnowledgeGraph
+
+GeneratorFn = Callable[..., KnowledgeGraph]
+
+#: Registry of generators addressable by name (CLI, bench specs).
+TOPOLOGIES: Dict[str, GeneratorFn] = {}
+
+
+def _register(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    def decorator(fn: GeneratorFn) -> GeneratorFn:
+        TOPOLOGIES[name] = fn
+        return fn
+
+    return decorator
+
+
+def _finalize(
+    adjacency: Dict[int, Set[int]], id_space: str, seed: int
+) -> KnowledgeGraph:
+    """Connect, relabel, and freeze a dense-id adjacency into a graph."""
+    ensure_weakly_connected(adjacency)
+    graph = KnowledgeGraph(adjacency)
+    if id_space != "dense":
+        graph = graph.relabeled(make_id_mapping(len(adjacency), id_space, seed))
+    return graph
+
+
+def ensure_weakly_connected(adjacency: Dict[int, Set[int]]) -> None:
+    """Minimally augment *adjacency* (in place) to be weakly connected.
+
+    Weak components are chained by a single directed edge from one
+    representative to the next, mirroring how a real deployment would seed
+    a disconnected registration graph with one bootstrap address per
+    island.  Deterministic: representatives are the minimum ids.
+    """
+    undirected: Dict[int, Set[int]] = {node: set() for node in adjacency}
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            undirected[node].add(neighbor)
+            undirected[neighbor].add(node)
+    seen: Set[int] = set()
+    representatives: List[int] = []
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        lowest = start
+        while stack:
+            node = stack.pop()
+            lowest = min(lowest, node)
+            for neighbor in undirected[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        representatives.append(lowest)
+    for previous, current in zip(representatives, representatives[1:]):
+        adjacency[previous].add(current)
+
+
+def _empty(n: int) -> Dict[int, Set[int]]:
+    if n < 1:
+        raise ValueError(f"need at least one node, got n={n}")
+    return {node: set() for node in range(n)}
+
+
+# -- deterministic shapes ------------------------------------------------------------
+
+
+@_register("path")
+def path(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Directed path: machine i knows machine i+1.  Diameter n-1."""
+    adjacency = _empty(n)
+    for node in range(n - 1):
+        adjacency[node].add(node + 1)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("bipath")
+def bipath(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Bidirectional path: i and i+1 know each other."""
+    adjacency = _empty(n)
+    for node in range(n - 1):
+        adjacency[node].add(node + 1)
+        adjacency[node + 1].add(node)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("cycle")
+def cycle(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Directed cycle: machine i knows machine (i+1) mod n."""
+    adjacency = _empty(n)
+    if n > 1:
+        for node in range(n):
+            adjacency[node].add((node + 1) % n)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("complete")
+def complete(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Complete graph — discovery is already done; useful as a base case."""
+    universe = set(range(n))
+    adjacency = {node: universe - {node} for node in range(n)}
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("star_in")
+def star_in(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Registration star: every leaf knows the hub (node 0), hub knows nobody.
+
+    Models clients configured with a rendezvous address.  Known to be hard
+    for pull-flavored gossip (the hub is everyone's only contact).
+    """
+    adjacency = _empty(n)
+    for node in range(1, n):
+        adjacency[node].add(0)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("star_out")
+def star_out(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Broadcast star: the hub knows every leaf, leaves know nobody."""
+    adjacency = _empty(n)
+    adjacency[0] = set(range(1, n))
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("tree")
+def tree(
+    n: int, seed: int = 0, id_space: str = "dense", arity: int = 2
+) -> KnowledgeGraph:
+    """Registration tree: each node knows its parent in a complete k-ary tree.
+
+    Models hierarchical bootstrap (children configured with their parent's
+    address).  Diameter Θ(log_k n) between leaves through the root.
+    """
+    if arity < 1:
+        raise ValueError(f"arity must be >= 1, got {arity}")
+    adjacency = _empty(n)
+    for node in range(1, n):
+        adjacency[node].add((node - 1) // arity)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("grid")
+def grid(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Near-square 2-D grid with bidirectional adjacency.  Diameter Θ(√n)."""
+    rows = max(1, int(math.isqrt(n)))
+    cols = (n + rows - 1) // rows
+    adjacency = _empty(n)
+
+    def index(row: int, col: int) -> int:
+        return row * cols + col
+
+    for node in range(n):
+        row, col = divmod(node, cols)
+        if col + 1 < cols and index(row, col + 1) < n:
+            adjacency[node].add(index(row, col + 1))
+            adjacency[index(row, col + 1)].add(node)
+        if row + 1 < rows and index(row + 1, col) < n:
+            adjacency[node].add(index(row + 1, col))
+            adjacency[index(row + 1, col)].add(node)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("hypercube")
+def hypercube(n: int, seed: int = 0, id_space: str = "dense") -> KnowledgeGraph:
+    """Hypercube over the smallest power of two >= n (extra nodes trimmed).
+
+    Bidirectional, degree log n, diameter log n.
+    """
+    dim = max(1, math.ceil(math.log2(max(2, n))))
+    adjacency = _empty(n)
+    for node in range(n):
+        for bit in range(dim):
+            neighbor = node ^ (1 << bit)
+            if neighbor < n:
+                adjacency[node].add(neighbor)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("lollipop")
+def lollipop(
+    n: int, seed: int = 0, id_space: str = "dense", clique_fraction: float = 0.5
+) -> KnowledgeGraph:
+    """A clique with a path attached — mixes the two diameter regimes."""
+    if not 0.0 < clique_fraction < 1.0:
+        raise ValueError("clique_fraction must be strictly between 0 and 1")
+    clique_size = min(n, max(2, int(n * clique_fraction)))
+    adjacency = _empty(n)
+    for u in range(clique_size):
+        for v in range(clique_size):
+            if u != v:
+                adjacency[u].add(v)
+    for node in range(clique_size - 1, n - 1):
+        adjacency[node].add(node + 1)
+        adjacency[node + 1].add(node)
+    return _finalize(adjacency, id_space, seed)
+
+
+# -- randomized shapes -------------------------------------------------------------
+
+
+@_register("kout")
+def random_k_out(
+    n: int, seed: int = 0, id_space: str = "dense", k: int = 3
+) -> KnowledgeGraph:
+    """Each machine registers with *k* uniformly random others.
+
+    The canonical resource-discovery workload: what a fresh fleet looks
+    like after every machine contacted k random bootstrap addresses.
+    Diameter Θ(log n / log k) whp, so the discovery lower bound here is
+    Θ(log log n) — the regime where sub-logarithmic algorithms shine.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = derive_rng(seed, "kout", n, k)
+    adjacency = _empty(n)
+    if n > 1:
+        for node in range(n):
+            pool = rng.sample(range(n), min(k + 1, n))
+            targets = [candidate for candidate in pool if candidate != node][:k]
+            adjacency[node].update(targets)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("gnp")
+def gnp(
+    n: int, seed: int = 0, id_space: str = "dense", p: Optional[float] = None
+) -> KnowledgeGraph:
+    """Directed Erdős–Rényi G(n, p); default p = 2 ln(n) / n (whp connected)."""
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(2, n)) / max(1, n))
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = derive_rng(seed, "gnp", n, p)
+    adjacency = _empty(n)
+    for node in range(n):
+        for other in range(n):
+            if other != node and rng.random() < p:
+                adjacency[node].add(other)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("prefattach")
+def preferential_attachment(
+    n: int, seed: int = 0, id_space: str = "dense", m: int = 2
+) -> KnowledgeGraph:
+    """Barabási–Albert-style growth: each newcomer knows *m* existing machines,
+    chosen proportionally to in-degree.
+
+    Models organic fleet growth where new machines register with popular
+    existing ones; produces heavy-tailed degree distributions.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    rng = derive_rng(seed, "prefattach", n, m)
+    adjacency = _empty(n)
+    attachment_pool: List[int] = [0]
+    for node in range(1, n):
+        targets: Set[int] = set()
+        limit = min(m, node)
+        attempts = 0
+        while len(targets) < limit and attempts < 20 * limit:
+            targets.add(rng.choice(attachment_pool))
+            attempts += 1
+        while len(targets) < limit:
+            targets.add(rng.randrange(node))
+        adjacency[node].update(targets)
+        attachment_pool.extend(targets)
+        attachment_pool.append(node)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("clustered")
+def clustered(
+    n: int,
+    seed: int = 0,
+    id_space: str = "dense",
+    clusters: int = 8,
+    bridges: int = 1,
+) -> KnowledgeGraph:
+    """Dense cliques joined by sparse random bridges.
+
+    Models racks/availability zones with full intra-zone knowledge and a
+    handful of cross-zone registrations; stresses the merging logic of
+    cluster-based algorithms.
+    """
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    clusters = min(clusters, n)
+    rng = derive_rng(seed, "clustered", n, clusters, bridges)
+    adjacency = _empty(n)
+    membership = [node % clusters for node in range(n)]
+    groups: Dict[int, List[int]] = {}
+    for node, group in enumerate(membership):
+        groups.setdefault(group, []).append(node)
+    for members in groups.values():
+        for u in members:
+            for v in members:
+                if u != v:
+                    adjacency[u].add(v)
+    group_list = sorted(groups)
+    for index, group in enumerate(group_list):
+        for _ in range(max(1, bridges)):
+            other = group_list[(index + 1 + rng.randrange(max(1, len(group_list) - 1))) % len(group_list)]
+            if other == group:
+                continue
+            source = rng.choice(groups[group])
+            target = rng.choice(groups[other])
+            if source != target:
+                adjacency[source].add(target)
+    return _finalize(adjacency, id_space, seed)
+
+
+@_register("smallworld")
+def small_world(
+    n: int, seed: int = 0, id_space: str = "dense", chords: int = 1
+) -> KnowledgeGraph:
+    """Bidirectional ring plus random chords (Watts–Strogatz flavor)."""
+    rng = derive_rng(seed, "smallworld", n, chords)
+    adjacency = _empty(n)
+    if n > 1:
+        for node in range(n):
+            adjacency[node].add((node + 1) % n)
+            adjacency[(node + 1) % n].add(node)
+        for node in range(n):
+            for _ in range(chords):
+                target = rng.randrange(n)
+                if target != node:
+                    adjacency[node].add(target)
+    return _finalize(adjacency, id_space, seed)
+
+
+def make_topology(
+    name: str, n: int, seed: int = 0, id_space: str = "dense", **kwargs: object
+) -> KnowledgeGraph:
+    """Build a registered topology by name."""
+    try:
+        generator = TOPOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise ValueError(f"unknown topology {name!r}; known: {known}") from None
+    return generator(n, seed=seed, id_space=id_space, **kwargs)

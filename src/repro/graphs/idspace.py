@@ -1,0 +1,43 @@
+"""Identifier namespaces for knowledge graphs.
+
+Resource-discovery algorithms must treat machine identifiers as opaque —
+comparable, hashable, but not assumed dense in ``[0, n)`` and certainly not
+usable to *guess* addresses.  To keep the shipped algorithms honest, every
+generator can emit graphs under two namespaces:
+
+* ``"dense"`` — ids ``0 .. n-1`` (convenient for debugging);
+* ``"random"`` — distinct pseudorandom 48-bit labels (deterministic in the
+  seed), which instantly breaks any accidental reliance on density.
+
+Tests run the full algorithm suite under both namespaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..sim.rng import derive_rng
+
+ID_SPACES = ("dense", "random")
+
+_RANDOM_ID_BITS = 48
+
+
+def make_id_mapping(count: int, id_space: str, seed: int) -> Dict[int, int]:
+    """Map dense ids ``0..count-1`` into the requested namespace."""
+    if id_space == "dense":
+        return {index: index for index in range(count)}
+    if id_space == "random":
+        rng = derive_rng(seed, "idspace", count)
+        labels: set[int] = set()
+        while len(labels) < count:
+            labels.add(rng.getrandbits(_RANDOM_ID_BITS))
+        ordered = sorted(labels)
+        rng.shuffle(ordered)
+        return {index: label for index, label in enumerate(ordered)}
+    raise ValueError(f"unknown id space {id_space!r}; expected one of {ID_SPACES}")
+
+
+def densify(node_ids: Sequence[int]) -> Dict[int, int]:
+    """Inverse helper: map arbitrary ids onto ``0..n-1`` preserving order."""
+    return {node: index for index, node in enumerate(sorted(node_ids))}

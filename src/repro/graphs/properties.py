@@ -1,0 +1,74 @@
+"""Workload characterization of knowledge graphs.
+
+These helpers feed the experiment tables (which record, next to every
+measurement, the structural facts that explain it: diameter bound, degree
+profile, connectivity) and the theoretical-bound calculators in
+:mod:`repro.analysis.bounds`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .knowledge import KnowledgeGraph
+
+#: Above this size, exact diameters switch to the double-sweep estimate.
+_EXACT_DIAMETER_LIMIT = 1500
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Structural summary of a knowledge graph."""
+
+    n: int
+    edges: int
+    weakly_connected: bool
+    diameter: int
+    diameter_exact: bool
+    min_out_degree: int
+    mean_out_degree: float
+    max_out_degree: int
+
+    @property
+    def discovery_lower_bound(self) -> int:
+        """Rounds every algorithm needs: ceil(log2(diameter)), by the
+        ball-containment argument of DESIGN.md section 1."""
+        if self.diameter <= 1:
+            return 0 if self.n <= 1 else 1
+        return math.ceil(math.log2(self.diameter))
+
+
+def profile(graph: KnowledgeGraph, exact_diameter: bool | None = None) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for *graph*."""
+    connected = graph.is_weakly_connected()
+    if exact_diameter is None:
+        exact_diameter = graph.n <= _EXACT_DIAMETER_LIMIT
+    if connected:
+        diameter = graph.undirected_diameter(exact=exact_diameter)
+    else:
+        diameter = -1
+    degrees = [len(graph.out(node)) for node in graph.node_ids]
+    return GraphProfile(
+        n=graph.n,
+        edges=graph.edge_count,
+        weakly_connected=connected,
+        diameter=diameter,
+        diameter_exact=bool(exact_diameter),
+        min_out_degree=min(degrees),
+        mean_out_degree=sum(degrees) / len(degrees),
+        max_out_degree=max(degrees),
+    )
+
+
+def knowledge_completeness(knowledge: Dict[int, set[int]]) -> float:
+    """Fraction of the complete graph currently known (1.0 = discovered).
+
+    Accepts the engine's ground-truth ``knowledge`` mapping.
+    """
+    n = len(knowledge)
+    if n <= 1:
+        return 1.0
+    known_pairs = sum(len(entries) for entries in knowledge.values()) - n
+    return known_pairs / (n * (n - 1))

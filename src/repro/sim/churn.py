@@ -1,0 +1,111 @@
+"""Dynamic membership: machines that join mid-run.
+
+Resource discovery in real fleets is not one-shot — machines keep
+arriving.  A :class:`JoinPlan` declares, per machine, the round at whose
+start it powers on.  Until then the machine is *dormant*: it executes no
+rounds and messages to it are lost (it is off).  Its initial knowledge
+(the bootstrap addresses it was configured with) becomes usable the
+moment it joins.
+
+The discovery goal is unchanged — e.g. strong discovery now implicitly
+requires the run to continue until after the last join.  The shipped
+cluster-merging algorithm needs no modification: a late joiner simply
+starts life as a singleton cluster and invites its bootstrap contacts,
+and the incumbents absorb it like any other cluster (experiment T6).
+
+Workload construction: :func:`late_join_workload` builds a base topology
+over the incumbent machines and staggers the joiners, giving each joiner
+bootstrap contacts among machines that are already up when it arrives —
+the realistic constraint that you can only be configured with addresses
+that exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..graphs.generators import make_topology
+from ..graphs.knowledge import KnowledgeGraph
+from .rng import derive_rng
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Round (1-based) at whose start each listed machine joins.
+
+    Machines not listed are present from round 1.
+    """
+
+    join_rounds: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node, round_no in self.join_rounds.items():
+            if round_no < 1:
+                raise ValueError(f"join round for node {node} must be >= 1")
+
+    @property
+    def has_joins(self) -> bool:
+        return bool(self.join_rounds)
+
+    @property
+    def last_join(self) -> int:
+        return max(self.join_rounds.values(), default=0)
+
+    def is_dormant(self, node: int, round_no: int) -> bool:
+        join_round = self.join_rounds.get(node)
+        return join_round is not None and round_no < join_round
+
+
+def late_join_workload(
+    incumbents: int,
+    joiners: int,
+    seed: int = 0,
+    topology: str = "kout",
+    contacts: int = 3,
+    join_start: int = 7,
+    join_stride: int = 2,
+    join_window: Optional[int] = None,
+    **topology_params: object,
+) -> Tuple[KnowledgeGraph, JoinPlan]:
+    """Build a staggered-join discovery workload.
+
+    Machines ``0 .. incumbents-1`` form the base *topology* and are up
+    from round 1.  Machines ``incumbents .. incumbents+joiners-1`` join
+    at rounds ``join_start, join_start + join_stride, ...`` — or, when
+    ``join_window`` is given, spread evenly over
+    ``[join_start, join_start + join_window]`` (several machines may then
+    join in the same round, which is what a large autoscaling burst looks
+    like).  Each joiner is configured with *contacts* bootstrap addresses
+    drawn uniformly from the machines already up at its join round.
+
+    Returns the combined knowledge graph and the :class:`JoinPlan`.
+    """
+    if incumbents < 1:
+        raise ValueError(f"need at least one incumbent, got {incumbents}")
+    if joiners < 0:
+        raise ValueError(f"joiners must be >= 0, got {joiners}")
+    if contacts < 1:
+        raise ValueError(f"contacts must be >= 1, got {contacts}")
+    if join_start < 1 or join_stride < 0:
+        raise ValueError("join_start must be >= 1 and join_stride >= 0")
+    if join_window is not None and join_window < 0:
+        raise ValueError(f"join_window must be >= 0, got {join_window}")
+
+    base = make_topology(topology, incumbents, seed=seed, **topology_params)
+    adjacency = {node: set(neighbors) for node, neighbors in base.adjacency().items()}
+    rng = derive_rng(seed, "late-join", incumbents, joiners)
+
+    join_rounds: Dict[int, int] = {}
+    present = list(range(incumbents))
+    for index in range(joiners):
+        node = incumbents + index
+        if join_window is not None:
+            join_rounds[node] = join_start + (index * join_window) // max(1, joiners)
+        else:
+            join_rounds[node] = join_start + index * join_stride
+        count = min(contacts, len(present))
+        adjacency[node] = set(rng.sample(present, count))
+        present.append(node)
+
+    return KnowledgeGraph(adjacency), JoinPlan(join_rounds=join_rounds)

@@ -1,0 +1,372 @@
+"""The synchronous round engine.
+
+:class:`SynchronousEngine` executes a discovery protocol over an initial
+knowledge graph, enforcing the communication model of DESIGN.md section 1:
+
+* a machine may message only machines it currently knows;
+* a message may carry only identifiers its sender currently knows;
+* recipients learn the sender and every carried identifier at the end of
+  the sending round, and act on the message in the following round.
+
+The engine keeps *ground-truth* knowledge sets independently of the
+protocol's own bookkeeping.  Ground truth drives the legality checks, the
+goal predicates, and — via observers — the lower-bound experiments, so a
+buggy or adversarial protocol cannot misreport its own progress.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Any,
+    Callable,
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .churn import JoinPlan
+from .errors import EngineStateError, ProtocolViolation, UnknownNodeError
+from .faults import FaultInjector, FaultPlan
+from .messages import Message
+from .metrics import MetricsCollector, RunResult
+from .node import ProtocolNode
+from .observers import Observer
+from .rng import derive_rng
+
+NodeFactory = Callable[[int], ProtocolNode]
+GoalPredicate = Callable[["SynchronousEngine"], bool]
+
+#: Named goal predicates selectable by string.
+GOALS = ("strong", "weak", "strong_alive")
+
+_EMPTY_INBOX: Tuple[Message, ...] = ()
+
+
+def default_max_rounds(n: int) -> int:
+    """A generous default round cap: far above every shipped algorithm's
+    needs (which are polylogarithmic), yet low enough that a livelocked
+    protocol fails fast in tests."""
+    return 200 + 60 * max(1, math.ceil(math.log2(n + 1)))
+
+
+def _normalize_graph(
+    graph: Union[Mapping[int, Collection[int]], Any],
+) -> Dict[int, frozenset[int]]:
+    """Accept a KnowledgeGraph-like object or a plain adjacency mapping."""
+    if hasattr(graph, "node_ids") and hasattr(graph, "out"):
+        return {node: frozenset(graph.out(node)) for node in graph.node_ids}
+    if isinstance(graph, Mapping):
+        return {node: frozenset(neighbors) for node, neighbors in graph.items()}
+    raise TypeError(f"unsupported graph type: {type(graph).__name__}")
+
+
+class SynchronousEngine:
+    """Runs one protocol instance per machine in lock-step rounds.
+
+    Args:
+        graph: Initial knowledge graph — a :class:`repro.graphs.KnowledgeGraph`
+            or a mapping ``{node_id: out_neighbors}``.
+        node_factory: Called once per node id to build its protocol node.
+        seed: Master seed; all protocol and fault randomness derives from it.
+        goal: ``"strong"`` (everyone knows everyone), ``"weak"`` (some node
+            knows everyone and everyone knows it), ``"strong_alive"``
+            (every non-crashed node knows every non-crashed node), or a
+            custom predicate over the engine.
+        fault_plan: Optional :class:`repro.sim.faults.FaultPlan`.
+        join_plan: Optional :class:`repro.sim.churn.JoinPlan` — machines
+            listed in it are dormant (not executing, unreachable) until
+            their join round.
+        jitter: Bounded-asynchrony knob.  A message sent in round ``r`` is
+            delivered at the start of round ``r + d`` where ``d`` is drawn
+            uniformly from ``1 .. 1 + jitter`` (deterministically in the
+            seed).  ``jitter=0`` is the classic synchronous model; larger
+            values stress protocols whose phase structure assumes
+            lockstep delivery (experiment T7).
+        observers: Read-only observers notified per round.
+        enforce_legality: Verify the ids of every message against the
+            sender's ground-truth knowledge.  Costs O(total pointers);
+            benchmarks may disable it, tests keep it on.
+        algorithm_name / params: Metadata copied into the result.
+    """
+
+    def __init__(
+        self,
+        graph: Union[Mapping[int, Collection[int]], Any],
+        node_factory: NodeFactory,
+        *,
+        seed: int = 0,
+        goal: Union[str, GoalPredicate] = "strong",
+        fault_plan: Optional[FaultPlan] = None,
+        join_plan: Optional[JoinPlan] = None,
+        jitter: int = 0,
+        observers: Iterable[Observer] = (),
+        enforce_legality: bool = True,
+        algorithm_name: str = "custom",
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        adjacency = _normalize_graph(graph)
+        self.node_ids: Tuple[int, ...] = tuple(sorted(adjacency))
+        if not self.node_ids:
+            raise ValueError("cannot simulate an empty graph")
+        self.n = len(self.node_ids)
+        self._id_set = frozenset(self.node_ids)
+        for node, neighbors in adjacency.items():
+            stray = neighbors - self._id_set
+            if stray:
+                raise UnknownNodeError(
+                    f"node {node} initially knows non-existent nodes {sorted(stray)[:5]}"
+                )
+
+        self.seed = seed
+        self.goal = goal
+        self._goal_fn = self._resolve_goal(goal)
+        self.enforce_legality = enforce_legality
+        self.algorithm_name = algorithm_name
+        self.params: Dict[str, Any] = dict(params or {})
+        self.metrics = MetricsCollector()
+        self.observers: Tuple[Observer, ...] = tuple(observers)
+        self._faults = FaultInjector(fault_plan, seed)
+        self._joins = join_plan or JoinPlan()
+        for node in self._joins.join_rounds:
+            if node not in self._id_set:
+                raise UnknownNodeError(f"join plan lists unknown node {node}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = jitter
+        self._delay_rng = derive_rng(seed, "delivery-jitter")
+
+        # Ground-truth knowledge and its derived counters.
+        self.knowledge: Dict[int, set[int]] = {}
+        self._known_by: Dict[int, int] = {node: 0 for node in self.node_ids}
+        self._complete_nodes = 0
+        self._alive: set[int] = set(self.node_ids)
+        self._alive_known: Dict[int, int] = {}
+        self._alive_complete = 0
+        for node in self.node_ids:
+            initial = set(adjacency[node])
+            initial.add(node)
+            self.knowledge[node] = initial
+            for target in initial:
+                self._known_by[target] += 1
+        for node in self.node_ids:
+            if len(self.knowledge[node]) == self.n:
+                self._complete_nodes += 1
+        self._rebuild_alive_counters()
+
+        # Protocol nodes.
+        self.nodes: Dict[int, ProtocolNode] = {}
+        for node in self.node_ids:
+            protocol = node_factory(node)
+            if protocol.node_id != node:
+                raise EngineStateError(
+                    f"factory returned node id {protocol.node_id} for {node}"
+                )
+            protocol.bind(adjacency[node], derive_rng(seed, "node", node))
+            self.nodes[node] = protocol
+
+        self.round_no = 0
+        self._inboxes: Dict[int, List[Message]] = {}
+        self._future: Dict[int, List[Message]] = {}
+        self._finished = False
+        for observer in self.observers:
+            observer.on_setup(self)
+
+    # -- goal predicates ----------------------------------------------------------
+
+    def _resolve_goal(self, goal: Union[str, GoalPredicate]) -> GoalPredicate:
+        if callable(goal):
+            return goal
+        if goal == "strong":
+            return lambda engine: engine._complete_nodes == engine.n
+        if goal == "weak":
+            return type(self)._weak_goal
+        if goal == "strong_alive":
+            return lambda engine: engine._alive_complete == len(engine._alive)
+        raise ValueError(f"unknown goal {goal!r}; expected one of {GOALS} or a callable")
+
+    def _weak_goal(self) -> bool:
+        if self._complete_nodes == 0:
+            return False
+        for node in self.node_ids:
+            if len(self.knowledge[node]) == self.n and self._known_by[node] == self.n:
+                return True
+        return False
+
+    def weak_leader(self) -> Optional[int]:
+        """The first node satisfying the weak-discovery condition, if any."""
+        for node in self.node_ids:
+            if len(self.knowledge[node]) == self.n and self._known_by[node] == self.n:
+                return node
+        return None
+
+    # -- knowledge bookkeeping ------------------------------------------------------
+
+    def _learn(self, node: int, new_ids: Iterable[int]) -> None:
+        knowledge = self.knowledge[node]
+        before = len(knowledge)
+        alive = self._alive
+        alive_gain = 0
+        for target in new_ids:
+            if target in knowledge:
+                continue
+            if target not in self._id_set:
+                # Only reachable with legality enforcement disabled: a
+                # protocol smuggled an id that names no simulated machine.
+                # Ignoring it keeps ground truth well-defined.
+                continue
+            knowledge.add(target)
+            self._known_by[target] += 1
+            if target in alive:
+                alive_gain += 1
+        if len(knowledge) == self.n and before < self.n:
+            self._complete_nodes += 1
+        if alive_gain and node in alive:
+            count = self._alive_known[node] + alive_gain
+            self._alive_known[node] = count
+            if count == len(alive):
+                self._alive_complete += 1
+
+    def _rebuild_alive_counters(self) -> None:
+        alive = self._alive
+        self._alive_known = {
+            node: len(self.knowledge[node] & alive) for node in alive
+        }
+        self._alive_complete = sum(
+            1 for node in alive if self._alive_known[node] == len(alive)
+        )
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_rounds: Optional[int] = None) -> RunResult:
+        """Execute rounds until the goal holds or the cap is reached."""
+        if self._finished:
+            raise EngineStateError("engine already finished; build a new one")
+        cap = max_rounds if max_rounds is not None else default_max_rounds(self.n)
+        completed = self._goal_fn(self)
+        while not completed and self.round_no < cap:
+            self.step()
+            completed = self._goal_fn(self)
+        self._finished = True
+        for observer in self.observers:
+            observer.on_finish(self, completed)
+        return self._build_result(completed)
+
+    def step(self) -> None:
+        """Execute exactly one synchronous round."""
+        if self._finished:
+            raise EngineStateError("engine already finished; build a new one")
+        self.round_no += 1
+        newly_crashed = self._faults.apply_crashes(self.round_no)
+        if newly_crashed:
+            for node in newly_crashed:
+                self._alive.discard(node)
+                self._inboxes.pop(node, None)
+            self._rebuild_alive_counters()
+
+        sends: List[Message] = []
+        for node in self.node_ids:
+            if self._faults.is_crashed(node):
+                continue
+            if self._joins.is_dormant(node, self.round_no):
+                continue
+            protocol = self.nodes[node]
+            inbox = self._inboxes.pop(node, _EMPTY_INBOX)
+            protocol.run_round(self.round_no, inbox)
+            outbox = protocol.drain_outbox()
+            if outbox:
+                if self.enforce_legality:
+                    self._check_legality(node, outbox)
+                sends.extend(outbox)
+
+        for message in sends:
+            if message.recipient not in self._id_set:
+                raise UnknownNodeError(
+                    f"node {message.sender} messaged non-existent node {message.recipient}"
+                )
+            dropped = self._faults.should_drop(message.sender, message.recipient)
+            self.metrics.record_send(message, dropped=dropped)
+            if dropped:
+                continue
+            if self.jitter:
+                delay = 1 + self._delay_rng.randrange(self.jitter + 1)
+            else:
+                delay = 1
+            self._future.setdefault(self.round_no + delay, []).append(message)
+
+        # Deliver everything scheduled for the start of the next round.
+        # Crash and dormancy are re-checked at delivery time: a machine
+        # that died (or has not powered on) while a message was in flight
+        # never receives it.
+        deliver_round = self.round_no + 1
+        next_inboxes: Dict[int, List[Message]] = {}
+        for message in self._future.pop(deliver_round, ()):
+            recipient = message.recipient
+            if self._faults.is_crashed(recipient) or self._joins.is_dormant(
+                recipient, deliver_round
+            ):
+                self.metrics.record_in_flight_loss()
+                continue
+            next_inboxes.setdefault(recipient, []).append(message)
+            self._learn(recipient, message.ids)
+            self._learn(recipient, (message.sender,))
+            self.nodes[recipient].absorb(message)
+        self._inboxes = next_inboxes
+
+        self.metrics.close_round(self.round_no)
+        for observer in self.observers:
+            observer.on_round_end(self, self.round_no)
+
+    def _check_legality(self, node: int, outbox: Sequence[Message]) -> None:
+        knowledge = self.knowledge[node]
+        for message in outbox:
+            if message.recipient not in knowledge:
+                raise ProtocolViolation(
+                    node,
+                    f"sent {message.kind!r} to unknown node {message.recipient}",
+                )
+            for target in message.ids:
+                if target not in knowledge:
+                    raise ProtocolViolation(
+                        node,
+                        f"{message.kind!r} message carries unknown id {target}",
+                    )
+
+    # -- results ------------------------------------------------------------------------
+
+    @property
+    def alive_nodes(self) -> frozenset[int]:
+        return frozenset(self._alive)
+
+    @property
+    def crashed_nodes(self) -> frozenset[int]:
+        return self._faults.crashed_nodes
+
+    def is_strongly_complete(self) -> bool:
+        return self._complete_nodes == self.n
+
+    def _build_result(self, completed: bool) -> RunResult:
+        extra: Dict[str, Any] = {}
+        for observer in self.observers:
+            extra.update(observer.extra())
+        return RunResult(
+            algorithm=self.algorithm_name,
+            n=self.n,
+            seed=self.seed,
+            completed=completed,
+            rounds=self.round_no,
+            messages=self.metrics.total_messages,
+            pointers=self.metrics.total_pointers,
+            dropped_messages=self.metrics.total_dropped,
+            messages_by_kind=dict(self.metrics.messages_by_kind),
+            pointers_by_kind=dict(self.metrics.pointers_by_kind),
+            round_stats=tuple(self.metrics.round_stats),
+            params=dict(self.params),
+            extra=extra,
+        )

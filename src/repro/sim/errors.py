@@ -1,0 +1,34 @@
+"""Exception hierarchy for the simulation substrate.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimulationError`
+so callers can catch substrate problems without masking ordinary bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ProtocolViolation(SimulationError):
+    """A protocol broke the resource-discovery communication model.
+
+    The model only permits a machine to message machines whose identifiers
+    it currently knows, and to include identifiers it currently knows.
+    Raising (rather than silently dropping) keeps the lower-bound
+    experiments trustworthy: an algorithm cannot accidentally cheat.
+    """
+
+    def __init__(self, sender: int, detail: str):
+        self.sender = sender
+        self.detail = detail
+        super().__init__(f"node {sender}: {detail}")
+
+
+class UnknownNodeError(SimulationError):
+    """A message referenced a node identifier outside the simulation."""
+
+
+class EngineStateError(SimulationError):
+    """The engine was driven through an invalid state transition."""

@@ -1,0 +1,149 @@
+"""Complexity accounting for simulation runs.
+
+The resource-discovery literature reports four cost measures (DESIGN.md
+section 1): rounds, messages, pointers, and bits.  :class:`MetricsCollector`
+accumulates them during a run; :class:`RunResult` is the immutable summary
+handed back to callers and to the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .messages import MESSAGE_HEADER_WORDS, Message
+
+
+@dataclass(frozen=True, slots=True)
+class RoundStats:
+    """Costs incurred during a single synchronous round."""
+
+    round_no: int
+    messages: int
+    pointers: int
+    dropped_messages: int = 0
+
+    @property
+    def delivered_messages(self) -> int:
+        return self.messages - self.dropped_messages
+
+
+class MetricsCollector:
+    """Accumulates per-round and per-kind cost counters during a run."""
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.total_pointers = 0
+        self.total_dropped = 0
+        self.messages_by_kind: Counter[str] = Counter()
+        self.pointers_by_kind: Counter[str] = Counter()
+        self.round_stats: List[RoundStats] = []
+        self._round_messages = 0
+        self._round_pointers = 0
+        self._round_dropped = 0
+
+    def record_send(self, message: Message, dropped: bool = False) -> None:
+        """Charge one message (sent messages count even when dropped)."""
+        pointers = message.pointer_count
+        self.total_messages += 1
+        self.total_pointers += pointers
+        self.messages_by_kind[message.kind] += 1
+        self.pointers_by_kind[message.kind] += pointers
+        self._round_messages += 1
+        self._round_pointers += pointers
+        if dropped:
+            self.total_dropped += 1
+            self._round_dropped += 1
+
+    def record_in_flight_loss(self) -> None:
+        """Charge a drop for a message lost after sending (recipient
+        crashed or still dormant at delivery time).  The send itself was
+        already recorded; only the drop counters move."""
+        self.total_dropped += 1
+        self._round_dropped += 1
+
+    def close_round(self, round_no: int) -> RoundStats:
+        """Finish the current round and return its statistics."""
+        stats = RoundStats(
+            round_no=round_no,
+            messages=self._round_messages,
+            pointers=self._round_pointers,
+            dropped_messages=self._round_dropped,
+        )
+        self.round_stats.append(stats)
+        self._round_messages = 0
+        self._round_pointers = 0
+        self._round_dropped = 0
+        return stats
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Immutable summary of one discovery run.
+
+    Attributes:
+        algorithm: Registry name of the protocol that ran.
+        n: Number of machines in the simulation.
+        seed: Master seed of the run.
+        completed: Whether the goal predicate was reached.
+        rounds: Rounds executed until completion (or until the cap when
+            ``completed`` is ``False``).
+        messages / pointers: Totals over the whole run.
+        dropped_messages: Messages charged but lost to fault injection.
+        messages_by_kind / pointers_by_kind: Per-message-kind breakdowns.
+        round_stats: Per-round cost trajectory.
+        params: Algorithm parameters used for the run.
+        extra: Free-form observations contributed by observers (for
+            example per-phase cluster-size statistics).
+    """
+
+    algorithm: str
+    n: int
+    seed: int
+    completed: bool
+    rounds: int
+    messages: int
+    pointers: int
+    dropped_messages: int = 0
+    messages_by_kind: Mapping[str, int] = field(default_factory=dict)
+    pointers_by_kind: Mapping[str, int] = field(default_factory=dict)
+    round_stats: Tuple[RoundStats, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def id_bits(self) -> int:
+        """Identifier width used for bit-complexity conversion."""
+        return max(1, math.ceil(math.log2(max(2, self.n))))
+
+    @property
+    def bits(self) -> int:
+        """Total bit complexity (pointers plus per-message headers)."""
+        return (self.pointers + MESSAGE_HEADER_WORDS * self.messages) * self.id_bits
+
+    @property
+    def messages_per_node(self) -> float:
+        return self.messages / self.n if self.n else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat dict convenient for tables and JSON dumps."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "seed": self.seed,
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "pointers": self.pointers,
+            "bits": self.bits,
+            "dropped_messages": self.dropped_messages,
+        }
+
+
+def merge_extras(base: Optional[Mapping[str, Any]], update: Mapping[str, Any]) -> Dict[str, Any]:
+    """Merge observer-contributed extras, later contributions winning."""
+    merged: Dict[str, Any] = dict(base or {})
+    merged.update(update)
+    return merged

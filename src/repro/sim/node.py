@@ -1,0 +1,118 @@
+"""Base class for protocol nodes running inside the synchronous engine.
+
+A protocol implements one subclass of :class:`ProtocolNode` and overrides
+:meth:`ProtocolNode.on_round`.  The engine drives the node; the node's only
+way to affect the world is :meth:`ProtocolNode.send`.
+
+Timing model (classic synchronous rounds): a message sent in round *r* is
+received — and its sender and carried ids learned — at the **end of round
+r**; the recipient *acts* on it in round *r + 1*.  The engine therefore
+calls :meth:`absorb` at acceptance time and :meth:`run_round` at the start
+of the next round.
+
+Nodes keep their *own* view of what they know (``self.known``).  The engine
+independently tracks ground-truth knowledge for legality enforcement and
+goal detection; a property test asserts the two views never diverge for the
+shipped protocols.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Collection, Iterable, List, Sequence, Set
+
+from .messages import Message
+
+
+class ProtocolNode(abc.ABC):
+    """One machine participating in a discovery protocol.
+
+    Subclasses must call ``super().__init__(node_id)`` and implement
+    :meth:`on_round`.  The engine calls :meth:`bind` exactly once before the
+    first round to provide the initial knowledge and the node's private
+    random stream.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.known: Set[int] = {node_id}
+        self.rng: random.Random = random.Random(0)
+        self.halted = False
+        self._outbox: List[Message] = []
+
+    # -- engine-facing lifecycle -------------------------------------------------
+
+    def bind(self, initial_knowledge: Iterable[int], rng: random.Random) -> None:
+        """Install initial knowledge and RNG; then run protocol setup."""
+        self.known.update(initial_knowledge)
+        self.rng = rng
+        self.setup()
+
+    def absorb(self, message: Message) -> None:
+        """Learn from *message* at acceptance time (end of sending round)."""
+        self.known.add(message.sender)
+        self.known.update(message.ids)
+
+    def run_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        """Engine entry point for executing one round (inbox pre-absorbed)."""
+        self.on_round(round_no, inbox)
+
+    def drain_outbox(self) -> List[Message]:
+        """Hand pending sends to the engine (called once per round)."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    # -- protocol-facing API -----------------------------------------------------
+
+    def setup(self) -> None:
+        """Hook run once after :meth:`bind`; override when needed."""
+
+    @abc.abstractmethod
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        """Execute one synchronous round.
+
+        Args:
+            round_no: 1-based round number (round 1 has an empty inbox and
+                serves as the protocol's initiation round).
+            inbox: Messages sent to this node in round ``round_no - 1``.
+                Their senders and carried ids are already in ``self.known``.
+        """
+
+    def send(
+        self,
+        recipient: int,
+        kind: str,
+        ids: Collection[int] = (),
+        data: Any = None,
+    ) -> None:
+        """Queue a message for delivery at the end of the current round.
+
+        The engine validates the model's legality rule (recipient and all
+        carried ids must currently be known to this node) when it collects
+        the outbox; violations raise
+        :class:`repro.sim.errors.ProtocolViolation`.
+        """
+        if recipient == self.node_id:
+            raise ValueError(f"node {self.node_id} attempted to message itself")
+        self._outbox.append(
+            Message(kind=kind, sender=self.node_id, recipient=recipient, ids=ids, data=data)
+        )
+
+    def halt(self) -> None:
+        """Mark this node as locally finished (diagnostic only).
+
+        Halting is advisory: the engine keeps delivering messages so that
+        quiescence bugs surface in tests rather than being masked.
+        """
+        self.halted = True
+
+    # -- conveniences -------------------------------------------------------------
+
+    @property
+    def others_known(self) -> Set[int]:
+        """Knowledge excluding this node itself (fresh set)."""
+        return self.known - {self.node_id}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id}, |known|={len(self.known)})"

@@ -1,0 +1,134 @@
+"""Observer hooks for inspecting a run without perturbing it.
+
+Observers receive the engine itself, so they can read ground-truth
+knowledge, per-node protocol state, and metrics.  They must treat all of it
+as read-only; mutating simulation state from an observer is a bug.
+
+Shipped observers:
+
+* :class:`KnowledgeSizeObserver` — per-round min/mean/max knowledge sizes,
+  the raw material of convergence plots.
+* :class:`RoundLogObserver` — lightweight textual trace for debugging.
+
+The lower-bound checker lives in :mod:`repro.analysis.invariants` because it
+needs graph machinery, but it plugs into the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import SynchronousEngine
+
+
+class Observer:
+    """Base observer; override any subset of the hooks."""
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        """Called once after nodes are bound, before round 1."""
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        """Called after each round's messages have been accounted."""
+
+    def on_finish(self, engine: "SynchronousEngine", completed: bool) -> None:
+        """Called once when the run stops."""
+
+    def extra(self) -> Dict[str, Any]:
+        """Observations merged into ``RunResult.extra`` (keyed per observer)."""
+        return {}
+
+
+class KnowledgeSizeObserver(Observer):
+    """Tracks the distribution of knowledge-set sizes per round."""
+
+    def __init__(self) -> None:
+        self.history: List[Dict[str, float]] = []
+
+    def _snapshot(self, engine: "SynchronousEngine", round_no: int) -> None:
+        sizes = [len(knowledge) for knowledge in engine.knowledge.values()]
+        self.history.append(
+            {
+                "round": round_no,
+                "min": float(min(sizes)),
+                "mean": sum(sizes) / len(sizes),
+                "max": float(max(sizes)),
+            }
+        )
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        self._snapshot(engine, 0)
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        self._snapshot(engine, round_no)
+
+    def extra(self) -> Dict[str, Any]:
+        return {"knowledge_sizes": list(self.history)}
+
+
+class LoadObserver(Observer):
+    """Tracks per-machine communication load: the congestion profile.
+
+    Message-count optimality says nothing about *where* the messages
+    land.  This observer records, per round, the maximum number of
+    messages any single machine received and the running per-machine
+    receive totals — revealing hotspots (e.g. cluster leaders absorbing
+    O(cluster) reports per phase) that uniform gossip does not have.
+    """
+
+    def __init__(self) -> None:
+        self.max_in_per_round: List[int] = []
+        self.total_in: Dict[int, int] = {}
+        self._n = 1
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        self._n = engine.n
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        peak = 0
+        for recipient, inbox in engine._inboxes.items():
+            count = len(inbox)
+            self.total_in[recipient] = self.total_in.get(recipient, 0) + count
+            if count > peak:
+                peak = count
+        self.max_in_per_round.append(peak)
+
+    def peak_receive_load(self) -> int:
+        """Largest single-round inbox any machine ever saw."""
+        return max(self.max_in_per_round, default=0)
+
+    def load_skew(self) -> float:
+        """Hottest machine's total receives over the fleet-wide mean.
+
+        1.0 = perfectly uniform; large values = a hotspot exists.
+        """
+        if not self.total_in:
+            return 1.0
+        mean = sum(self.total_in.values()) / self._n
+        return max(self.total_in.values()) / mean if mean else 1.0
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "peak_receive_load": self.peak_receive_load(),
+            "load_skew": self.load_skew(),
+        }
+
+
+class RoundLogObserver(Observer):
+    """Collects a human-readable line per round (for debugging sessions)."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        stats = engine.metrics.round_stats[-1]
+        complete = sum(
+            1 for knowledge in engine.knowledge.values() if len(knowledge) == engine.n
+        )
+        self.lines.append(
+            f"round {round_no:>4}: msgs={stats.messages:<8} ptrs={stats.pointers:<10} "
+            f"complete-nodes={complete}/{engine.n}"
+        )
+
+    def extra(self) -> Dict[str, Any]:
+        return {"round_log": list(self.lines)}

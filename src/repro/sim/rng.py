@@ -1,0 +1,41 @@
+"""Deterministic random-number streams for reproducible simulations.
+
+Every random decision in the repository flows through :func:`derive_rng`
+(or :func:`derive_seed`), which hash a master seed together with an
+arbitrary *salt* path.  Two properties matter:
+
+* **Stability** — the stream for ``(seed, "node", 17)`` is identical across
+  processes, platforms, and Python versions (we hash with SHA-256 rather
+  than relying on ``hash()``, which is salted per process).
+* **Independence** — distinct salt paths give statistically independent
+  streams, so per-node randomness does not correlate with, say, the fault
+  injector's coin flips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+_SEED_BYTES = 8
+
+
+def derive_seed(master_seed: int, *salt: Any) -> int:
+    """Derive a 64-bit child seed from *master_seed* and a salt path.
+
+    The salt components are rendered with ``repr`` and joined with a
+    separator that cannot appear in the repr of ints/strs used as salts,
+    preventing accidental collisions like ``("ab", "c")`` vs ``("a", "bc")``.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr(master_seed).encode())
+    for component in salt:
+        hasher.update(b"\x1f")
+        hasher.update(repr(component).encode())
+    return int.from_bytes(hasher.digest()[:_SEED_BYTES], "big")
+
+
+def derive_rng(master_seed: int, *salt: Any) -> random.Random:
+    """Return a fresh :class:`random.Random` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(master_seed, *salt))

@@ -1,0 +1,88 @@
+"""Unit tests for the DiscoveryNode helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.algorithms.base import DiscoveryNode
+from repro.sim.messages import Message
+
+
+class PlainNode(DiscoveryNode):
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        pass
+
+
+def make_node(knows=(2, 3)) -> PlainNode:
+    node = PlainNode(1)
+    node.bind(knows, random.Random(0))
+    return node
+
+
+class TestSnapshots:
+    def test_snapshot_matches_known(self):
+        node = make_node()
+        assert node.knowledge_snapshot() == frozenset({1, 2, 3})
+        assert node.knowledge_snapshot(include_self=False) == frozenset({2, 3})
+
+    def test_snapshot_is_cached_until_change(self):
+        node = make_node()
+        first = node.knowledge_snapshot()
+        assert node.knowledge_snapshot() is first
+        node.absorb(Message(kind="x", sender=9, recipient=1))
+        second = node.knowledge_snapshot()
+        assert second is not first
+        assert 9 in second
+
+
+class TestDeltas:
+    def test_initial_delta_is_initial_knowledge(self):
+        node = make_node()
+        assert node.unsent_delta() == frozenset({2, 3})
+
+    def test_mark_sent_clears_delta(self):
+        node = make_node()
+        node.mark_sent()
+        assert node.unsent_delta() == frozenset()
+
+    def test_new_learning_reappears_in_delta(self):
+        node = make_node()
+        node.mark_sent()
+        node.absorb(Message(kind="x", sender=5, recipient=1, ids=(6,)))
+        assert node.unsent_delta() == frozenset({5, 6})
+
+    def test_delta_never_contains_self(self):
+        node = make_node()
+        assert 1 not in node.unsent_delta()
+
+
+class TestRandomPeer:
+    def test_none_when_lonely(self):
+        node = PlainNode(1)
+        node.bind((), random.Random(0))
+        assert node.pick_random_peer() is None
+
+    def test_peer_is_known_and_not_self(self):
+        node = make_node(knows=(2, 3, 4, 5))
+        for _ in range(20):
+            peer = node.pick_random_peer()
+            assert peer in {2, 3, 4, 5}
+
+    def test_deterministic_given_rng(self):
+        a = make_node(knows=tuple(range(2, 30)))
+        b = make_node(knows=tuple(range(2, 30)))
+        assert [a.pick_random_peer() for _ in range(10)] == [
+            b.pick_random_peer() for _ in range(10)
+        ]
+
+    def test_insertion_order_does_not_matter(self):
+        # Same knowledge assembled in different orders must give the same
+        # random choices (the picker sorts before sampling).
+        a = PlainNode(1)
+        a.bind((2, 3, 4), random.Random(7))
+        b = PlainNode(1)
+        b.bind((4, 3, 2), random.Random(7))
+        assert [a.pick_random_peer() for _ in range(8)] == [
+            b.pick_random_peer() for _ in range(8)
+        ]

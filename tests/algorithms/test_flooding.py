@@ -1,0 +1,59 @@
+"""Behavioral tests for the flooding baseline."""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.bounds import lower_bound_rounds
+from repro.graphs import make_topology
+
+
+class TestFloodingRounds:
+    def test_completes_in_diameter_rounds_on_bipath(self):
+        graph = make_topology("bipath", 17)
+        result = repro.discover(graph, algorithm="flooding")
+        assert result.completed
+        # Information travels one hop per round.  The farthest id starts
+        # one hop in (endpoints' ids are already known to their neighbors)
+        # so the 16-diameter path completes in ~15 rounds.
+        assert 14 <= result.rounds <= 18
+
+    def test_directed_path_needs_reverse_discovery(self):
+        graph = make_topology("path", 9)
+        result = repro.discover(graph, algorithm="flooding")
+        assert result.completed
+        # Forward direction: ~D rounds; reverse edges appear in round 1,
+        # so backward flow is also ~D.  Either way Θ(D).
+        assert 8 <= result.rounds <= 20
+
+    def test_star_completes_fast(self):
+        graph = make_topology("star_in", 20)
+        result = repro.discover(graph, algorithm="flooding")
+        assert result.completed
+        assert result.rounds <= 3
+
+    def test_quiesces_no_redundant_sends_at_end(self):
+        graph = make_topology("bipath", 8)
+        result = repro.discover(graph, algorithm="flooding")
+        # The last recorded round should carry far fewer messages than the
+        # peak (deltas dry up as knowledge saturates).
+        peak = max(s.messages for s in result.round_stats)
+        tail = result.round_stats[-1].messages
+        assert tail <= peak
+
+
+class TestFloodingComplexity:
+    def test_pointer_complexity_beats_swamping(self):
+        graph = make_topology("kout", 64, seed=2, k=3)
+        flood = repro.discover(graph, algorithm="flooding")
+        swamp = repro.discover(graph, algorithm="swamping")
+        assert flood.pointers < swamp.pointers
+
+    def test_rounds_track_lower_bound_shape(self):
+        # Flooding is ~D while the bound is log2 D: on a long path the
+        # ratio must be large, on a star it must be small.
+        long_path = make_topology("bipath", 64)
+        star = make_topology("star_in", 64)
+        path_result = repro.discover(long_path, algorithm="flooding")
+        star_result = repro.discover(star, algorithm="flooding")
+        assert path_result.rounds > 8 * lower_bound_rounds(long_path)
+        assert star_result.rounds <= 4

@@ -1,0 +1,68 @@
+"""Behavioral tests for Name-Dropper."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+import repro
+from repro.graphs import make_topology
+
+
+class TestNameDropper:
+    @pytest.mark.parametrize("topo", ("path", "kout", "star_in", "tree"))
+    def test_completes_everywhere(self, topo: str):
+        graph = make_topology(topo, 64, seed=5)
+        result = repro.discover(graph, algorithm="namedropper", seed=5)
+        assert result.completed
+
+    def test_polylog_rounds_on_path(self):
+        # HBLL bound: O(log^2 n) whp.  At n=128, log2^2 = 49; the measured
+        # median sits far below, but must be well under any linear growth.
+        rounds = [
+            repro.discover(
+                make_topology("path", 128), algorithm="namedropper", seed=seed
+            ).rounds
+            for seed in range(5)
+        ]
+        assert statistics.median(rounds) <= math.log2(128) ** 2
+
+    def test_one_push_per_node_per_round(self):
+        graph = make_topology("kout", 32, seed=1, k=3)
+        result = repro.discover(graph, algorithm="namedropper", seed=1)
+        assert result.messages_by_kind["push"] == 32 * result.rounds
+
+    def test_invalid_mode_rejected(self):
+        graph = make_topology("kout", 8, seed=1, k=2)
+        with pytest.raises(ValueError):
+            repro.discover(graph, algorithm="namedropper", mode="broadcast")
+
+
+class TestPushPull:
+    def test_pushpull_completes(self):
+        graph = make_topology("kout", 64, seed=2, k=3)
+        result = repro.discover(graph, algorithm="namedropper", seed=2, mode="pushpull")
+        assert result.completed
+
+    def test_pushpull_not_slower_in_rounds(self):
+        # Pull replies can only accelerate spreading.
+        rounds_push = []
+        rounds_pushpull = []
+        for seed in range(4):
+            graph = make_topology("kout", 96, seed=seed, k=3)
+            rounds_push.append(
+                repro.discover(graph, algorithm="namedropper", seed=seed).rounds
+            )
+            rounds_pushpull.append(
+                repro.discover(
+                    graph, algorithm="namedropper", seed=seed, mode="pushpull"
+                ).rounds
+            )
+        assert statistics.median(rounds_pushpull) <= statistics.median(rounds_push)
+
+    def test_pushpull_emits_pullbacks(self):
+        graph = make_topology("kout", 32, seed=3, k=3)
+        result = repro.discover(graph, algorithm="namedropper", seed=3, mode="pushpull")
+        assert result.messages_by_kind.get("pullback", 0) > 0

@@ -1,0 +1,43 @@
+"""Behavioral tests for Random Pointer Jump."""
+
+from __future__ import annotations
+
+import repro
+from repro.graphs import make_topology
+
+
+class TestRandomPointerJump:
+    def test_completes_on_small_kout(self):
+        graph = make_topology("kout", 48, seed=4, k=3)
+        result = repro.discover(graph, algorithm="rpj", seed=4)
+        assert result.completed
+
+    def test_pull_structure_one_request_per_round(self):
+        graph = make_topology("kout", 32, seed=1, k=3)
+        result = repro.discover(graph, algorithm="rpj", seed=1)
+        # Every live node issues exactly one pull per round.
+        assert result.messages_by_kind["pull"] <= 32 * result.rounds
+        assert result.messages_by_kind["pull"] >= result.rounds  # at least some
+
+    def test_replies_follow_pulls(self):
+        graph = make_topology("kout", 32, seed=1, k=3)
+        result = repro.discover(graph, algorithm="rpj", seed=1)
+        # Replies are deduplicated per requester, so never exceed pulls.
+        assert result.messages_by_kind["reply"] <= result.messages_by_kind["pull"]
+
+    def test_slower_than_namedropper_on_out_star(self):
+        # The classic pathology: on a broadcast star the hub pulls from
+        # random leaves that know nothing, while the leaves cannot pull
+        # (they know nobody until the hub's pull reveals it).
+        graph = make_topology("star_out", 64)
+        rpj = repro.discover(graph, algorithm="rpj", seed=3)
+        namedropper = repro.discover(graph, algorithm="namedropper", seed=3)
+        assert namedropper.completed
+        assert not rpj.completed or rpj.rounds >= namedropper.rounds
+
+    def test_deterministic_per_seed(self):
+        graph = make_topology("kout", 40, seed=2, k=3)
+        a = repro.discover(graph, algorithm="rpj", seed=9)
+        b = repro.discover(graph, algorithm="rpj", seed=9)
+        assert a.rounds == b.rounds
+        assert a.messages == b.messages

@@ -1,0 +1,59 @@
+"""Unit tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHMS, algorithm_names, get_algorithm
+from repro.core.sublog import SubLogNode
+from repro.sim.node import ProtocolNode
+
+EXPECTED = {"flooding", "swamping", "rpj", "namedropper", "sublog", "sublogcoin"}
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert set(algorithm_names()) == EXPECTED
+
+    def test_get_algorithm_round_trip(self):
+        for name in algorithm_names():
+            spec = get_algorithm(name)
+            assert spec.name == name
+            assert spec.description
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            get_algorithm("quantum")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_factories_build_protocol_nodes(self, name: str):
+        factory = get_algorithm(name).node_factory()
+        node = factory(7)
+        assert isinstance(node, ProtocolNode)
+        assert node.node_id == 7
+
+    def test_params_are_forwarded(self):
+        factory = get_algorithm("sublog").node_factory(spread_limit=2)
+        node = factory(1)
+        assert isinstance(node, SubLogNode)
+        assert node.config.spread_limit == 2
+
+    def test_sublogcoin_defaults_to_coin(self):
+        node = get_algorithm("sublogcoin").node_factory()(1)
+        assert node.config.contraction == "coin"
+
+    def test_sublog_defaults_to_rank(self):
+        node = get_algorithm("sublog").node_factory()(1)
+        assert node.config.contraction == "rank"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_round_caps_are_positive_and_monotone(self, name: str):
+        cap = get_algorithm(name).round_cap
+        assert cap(16) > 0
+        assert cap(4096) >= cap(16)
+
+    def test_bad_param_raises_at_build_time(self):
+        with pytest.raises(ValueError):
+            get_algorithm("sublog").node_factory(contraction="bogus")
+        with pytest.raises(ValueError):
+            get_algorithm("namedropper").node_factory(mode="shout")(1)

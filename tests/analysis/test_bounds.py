@@ -1,0 +1,96 @@
+"""Unit tests for closed-form bound calculators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    log2,
+    loglog2,
+    lower_bound_rounds,
+    namedropper_round_bound,
+    optimal_message_bound,
+    phases_to_cover,
+    squaring_recurrence,
+    strong_discovery_pointer_bound,
+    sublog_phase_bound,
+    swamping_round_bound,
+)
+from repro.graphs import KnowledgeGraph, make_topology
+
+
+class TestLogs:
+    def test_log2_clamps(self):
+        assert log2(1) == 1.0
+        assert log2(0) == 1.0
+        assert log2(8) == 3.0
+
+    def test_loglog2(self):
+        assert loglog2(4) == 1.0
+        assert loglog2(65536) == 4.0
+
+
+class TestLowerBound:
+    def test_path_bound(self):
+        assert lower_bound_rounds(make_topology("path", 9)) == 3  # ceil(log2 8)
+        assert lower_bound_rounds(make_topology("path", 10)) == 4
+
+    def test_star_bound(self):
+        assert lower_bound_rounds(make_topology("star_in", 10)) == 1
+
+    def test_singleton_bound(self):
+        assert lower_bound_rounds(KnowledgeGraph({0: set()})) == 0
+
+    def test_complete_graph_needs_zero_rounds(self):
+        assert lower_bound_rounds(make_topology("complete", 8)) == 0
+
+    def test_incomplete_diameter_one_graph_needs_one_round(self):
+        # 0 -> 1 and 1 -> 0 plus 0 <-> 2 one-way: closure diameter can be
+        # small while the directed graph is incomplete.
+        graph = KnowledgeGraph({0: {1, 2}, 1: {0, 2}, 2: {0, 1}})
+        assert lower_bound_rounds(graph) == 0  # actually complete
+        incomplete = KnowledgeGraph({0: {1, 2}, 1: {0, 2}, 2: {0}})
+        assert lower_bound_rounds(incomplete) == 1
+
+    def test_swamping_bound_above_lower(self):
+        graph = make_topology("path", 33)
+        assert swamping_round_bound(graph) >= lower_bound_rounds(graph)
+
+
+class TestRecurrence:
+    def test_pure_squaring(self):
+        assert squaring_recurrence(2, 256) == [2, 4, 16, 256]
+
+    def test_capped_at_target(self):
+        sizes = squaring_recurrence(2, 100)
+        assert sizes[-1] == 100
+
+    def test_target_below_start(self):
+        assert squaring_recurrence(4, 3) == [4]
+
+    def test_start_validation(self):
+        with pytest.raises(ValueError):
+            squaring_recurrence(1, 100)
+
+    def test_phases_to_cover_is_loglog(self):
+        assert phases_to_cover(256) == 3
+        assert phases_to_cover(65536) == 4
+
+    def test_growth_parameter(self):
+        slower = squaring_recurrence(2, 1 << 16, growth=1.5)
+        faster = squaring_recurrence(2, 1 << 16, growth=2.0)
+        assert len(slower) >= len(faster)
+
+
+class TestSimpleBounds:
+    def test_message_bound(self):
+        assert optimal_message_bound(100) == 99
+        assert optimal_message_bound(1) == 0
+
+    def test_pointer_bound(self):
+        assert strong_discovery_pointer_bound(10) == 45
+
+    def test_shapes_are_ordered(self):
+        # At any realistic n the predicted shapes must be strictly ordered.
+        for n in (64, 1024, 1 << 20):
+            assert sublog_phase_bound(n) < namedropper_round_bound(n)

@@ -1,0 +1,80 @@
+"""Unit tests for convergence curves."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.convergence import (
+    ConvergenceCurve,
+    compare_milestones,
+    curve_from_history,
+)
+from repro.graphs import make_topology
+from repro.sim import KnowledgeSizeObserver
+
+
+class TestConvergenceCurve:
+    def test_milestones(self):
+        curve = ConvergenceCurve(n=10, completeness=[0.1, 0.4, 0.6, 0.95, 1.0])
+        assert curve.rounds_to(0.5) == 2
+        assert curve.rounds_to(0.9) == 3
+        assert curve.rounds_to(1.0) == 4
+        milestones = curve.milestones()
+        assert milestones["t50"] == 2
+        assert milestones["t100"] == 4
+
+    def test_unreached_milestone_is_none(self):
+        curve = ConvergenceCurve(n=4, completeness=[0.1, 0.2])
+        assert curve.rounds_to(0.9) is None
+
+    def test_fraction_validation(self):
+        curve = ConvergenceCurve(n=4, completeness=[1.0])
+        with pytest.raises(ValueError):
+            curve.rounds_to(0.0)
+        with pytest.raises(ValueError):
+            curve.rounds_to(1.5)
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceCurve(n=4, completeness=[1.2])
+
+    def test_sparkline_length_and_extremes(self):
+        curve = ConvergenceCurve(n=4, completeness=[0.0, 0.5, 1.0])
+        spark = curve.sparkline()
+        assert len(spark) == 3
+        assert spark[0] == " "
+        assert spark[-1] == "@"
+
+
+class TestCurveFromHistory:
+    def test_from_real_run(self):
+        graph = make_topology("kout", 32, seed=1, k=3)
+        observer = KnowledgeSizeObserver()
+        result = repro.discover(
+            graph, algorithm="sublog", seed=1, observers=[observer]
+        )
+        curve = curve_from_history(observer.history, n=32)
+        assert curve.rounds == result.rounds
+        assert curve.completeness[-1] == pytest.approx(1.0)
+        # completeness is monotone under any discovery protocol
+        values = list(curve.completeness)
+        assert values == sorted(values)
+
+    def test_faster_algorithm_has_earlier_milestones(self):
+        graph = make_topology("path", 64)
+        curves = {}
+        for algorithm in ("swamping", "flooding"):
+            observer = KnowledgeSizeObserver()
+            repro.discover(graph, algorithm=algorithm, seed=1, observers=[observer])
+            curves[algorithm] = curve_from_history(observer.history, n=64)
+        milestones = compare_milestones(curves)
+        assert milestones["swamping"]["t100"] < milestones["flooding"]["t100"]
+
+    def test_singleton(self):
+        curve = curve_from_history([{"round": 0, "mean": 1.0}], n=1)
+        assert curve.completeness == [1.0]
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            curve_from_history([], n=0)

@@ -1,0 +1,73 @@
+"""Unit tests for growth-model fitting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    GROWTH_MODELS,
+    best_model,
+    compare_models,
+    describe_fits,
+    fit_all_models,
+    fit_model,
+)
+
+SIZES = [64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def synth(model: str, a: float = 3.0, b: float = 2.0) -> list:
+    transform = GROWTH_MODELS[model]
+    return [a * transform(n) + b for n in SIZES]
+
+
+class TestFitModel:
+    def test_exact_fit_recovers_parameters(self):
+        fit = fit_model(SIZES, synth("log"), "log")
+        assert fit.scale == pytest.approx(3.0, abs=1e-6)
+        assert fit.offset == pytest.approx(2.0, abs=1e-6)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-6)
+
+    def test_predict(self):
+        fit = fit_model(SIZES, synth("log"), "log")
+        assert fit.predict(8192) == pytest.approx(3.0 * 13 + 2.0, abs=1e-5)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model(SIZES, synth("log"), "cubic")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1, 2], [1.0], "log")
+
+    def test_two_points_minimum(self):
+        with pytest.raises(ValueError):
+            fit_model([64], [5.0], "log")
+
+
+class TestModelSelection:
+    @pytest.mark.parametrize("true_model", ("loglog", "log", "log2", "linear"))
+    def test_best_model_identifies_generator(self, true_model: str):
+        fit = best_model(SIZES, synth(true_model))
+        assert fit.model == true_model
+
+    def test_fit_all_sorted_by_rmse(self):
+        fits = fit_all_models(SIZES, synth("log2"))
+        rmses = [fit.rmse for fit in fits]
+        assert rmses == sorted(rmses)
+
+    def test_compare_models(self):
+        candidate, against = compare_models(SIZES, synth("loglog"), "loglog", "log2")
+        assert candidate.rmse < against.rmse
+
+    def test_noise_tolerance(self):
+        noisy = [v + ((-1) ** i) * 0.4 for i, v in enumerate(synth("log"))]
+        assert best_model(SIZES, noisy).model in ("log", "loglog")
+
+    def test_describe_fits_renders(self):
+        text = describe_fits(fit_all_models(SIZES, synth("log")))
+        assert "rmse" in text
+        assert "log" in text

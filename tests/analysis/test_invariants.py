@@ -1,0 +1,111 @@
+"""Unit tests for the invariant observers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+import repro
+from repro.analysis.invariants import (
+    BallContainmentObserver,
+    InvariantViolation,
+    MonotonicityObserver,
+    verify_view_consistency,
+)
+from repro.graphs import make_topology
+from repro.sim import Message, ProtocolNode, SynchronousEngine
+
+
+class TestBallContainment:
+    @pytest.mark.parametrize("algorithm", ("swamping", "namedropper", "sublog", "flooding"))
+    def test_no_violations_for_shipped_algorithms(self, algorithm: str):
+        graph = make_topology("path", 33)
+        observer = BallContainmentObserver(graph, strict=True)
+        result = repro.discover(
+            graph, algorithm=algorithm, seed=2, observers=[observer]
+        )
+        assert result.completed
+        assert not observer.violations
+
+    def test_radius_trace_respects_ceiling(self):
+        graph = make_topology("path", 65)
+        observer = BallContainmentObserver(graph)
+        repro.discover(graph, algorithm="swamping", seed=1, observers=[observer])
+        for round_index, radius in enumerate(observer.max_radius_by_round):
+            assert radius <= 2 ** (round_index + 1)
+
+    def test_swamping_nearly_saturates_bound(self):
+        # Swamping doubles radius per round: the trace must track 2^t
+        # within a factor of 2 (it starts at radius 1 and can lag one
+        # doubling because reverse edges appear a round late).
+        graph = make_topology("bipath", 129)
+        observer = BallContainmentObserver(graph)
+        repro.discover(graph, algorithm="swamping", seed=1, observers=[observer])
+        for round_index, radius in enumerate(observer.max_radius_by_round):
+            assert radius >= 2**round_index / 2
+
+    def test_mismatched_graph_rejected(self):
+        observer = BallContainmentObserver(make_topology("path", 4))
+        with pytest.raises(ValueError):
+            SynchronousEngine(
+                make_topology("path", 5).adjacency(),
+                repro.get_algorithm("flooding").node_factory(),
+                observers=[observer],
+            )
+
+    def test_cheating_would_be_detected(self):
+        # A synthetic run that teleports knowledge: hand the last node's id
+        # to the first node via a direct engine poke, and confirm the
+        # checker notices the impossible radius.
+        graph = make_topology("path", 17)
+        observer = BallContainmentObserver(graph, strict=False)
+
+        class Teleporter(ProtocolNode):
+            def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+                pass
+
+        engine = SynchronousEngine(
+            graph.adjacency(), Teleporter, observers=[observer], enforce_legality=False
+        )
+        engine.knowledge[0].add(16)  # impossible at round 1
+        engine.step()
+        assert observer.violations
+        assert observer.violations[0]["node"] == 0
+
+    def test_strict_mode_raises(self):
+        graph = make_topology("path", 17)
+        observer = BallContainmentObserver(graph, strict=True)
+
+        class Teleporter(ProtocolNode):
+            def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+                pass
+
+        engine = SynchronousEngine(
+            graph.adjacency(), Teleporter, observers=[observer], enforce_legality=False
+        )
+        engine.knowledge[0].add(16)
+        with pytest.raises(InvariantViolation):
+            engine.step()
+
+
+class TestMonotonicity:
+    def test_clean_run_has_no_violations(self):
+        graph = make_topology("kout", 24, seed=1, k=2)
+        observer = MonotonicityObserver()
+        result = repro.discover(graph, algorithm="sublog", seed=1, observers=[observer])
+        assert result.completed
+        assert not observer.violations
+
+
+class TestViewConsistency:
+    def test_mismatch_is_reported(self):
+        graph = make_topology("path", 4)
+        engine = SynchronousEngine(
+            graph.adjacency(), repro.get_algorithm("flooding").node_factory()
+        )
+        engine.run()
+        engine.nodes[0].known.discard(3)  # corrupt the node's private view
+        message = verify_view_consistency(engine)
+        assert message is not None
+        assert "node 0" in message

@@ -1,0 +1,73 @@
+"""Unit tests for seed-aggregation statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import aggregate, aggregate_results, completion_rate, group_by
+from repro.sim.metrics import RunResult
+
+
+def result(algorithm="a", n=8, seed=0, rounds=5, completed=True) -> RunResult:
+    return RunResult(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        completed=completed,
+        rounds=rounds,
+        messages=10,
+        pointers=20,
+    )
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        agg = aggregate([1.0, 2.0, 3.0, 4.0])
+        assert agg.mean == pytest.approx(2.5)
+        assert agg.median == pytest.approx(2.5)
+        assert agg.minimum == 1.0
+        assert agg.maximum == 4.0
+        assert agg.count == 4
+
+    def test_ci_contains_mean(self):
+        agg = aggregate([10.0, 12.0, 11.0, 13.0, 9.0])
+        assert agg.ci_low <= agg.mean <= agg.ci_high
+        assert agg.ci_low < agg.ci_high
+
+    def test_single_sample_degenerate_ci(self):
+        agg = aggregate([7.0])
+        assert agg.ci_low == agg.ci_high == 7.0
+        assert agg.stdev == 0.0
+
+    def test_constant_sample(self):
+        agg = aggregate([5.0, 5.0, 5.0])
+        assert agg.ci_low == agg.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_format(self):
+        assert aggregate([1.0, 2.0, 3.0]).format() == "2.0 [1.0..3.0]"
+
+
+class TestRunResultHelpers:
+    def test_aggregate_results_metric(self):
+        runs = [result(rounds=r) for r in (4, 6, 8)]
+        agg = aggregate_results(runs, "rounds")
+        assert agg.median == 6.0
+
+    def test_completion_rate(self):
+        runs = [result(completed=c) for c in (True, True, False, True)]
+        assert completion_rate(runs) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            completion_rate([])
+
+    def test_group_by(self):
+        runs = [
+            result(algorithm="a", n=8),
+            result(algorithm="a", n=16),
+            result(algorithm="b", n=8),
+        ]
+        grouped = group_by(runs, "algorithm", "n")
+        assert set(grouped) == {("a", 8), ("a", 16), ("b", 8)}

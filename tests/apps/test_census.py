@@ -1,0 +1,50 @@
+"""Unit and integration tests for the census application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.census import leader_census
+from repro.graphs import make_topology
+
+
+class TestLeaderCensus:
+    def test_counts_the_fleet(self):
+        graph = make_topology("kout", 80, seed=3, k=3)
+        census = leader_census(graph, seed=3)
+        assert census.count == 80
+        assert census.min_id == min(graph.node_ids)
+        assert census.max_id == max(graph.node_ids)
+
+    def test_election_rule(self):
+        graph = make_topology("kout", 40, seed=4, k=3, id_space="random")
+        census = leader_census(graph, seed=4)
+        assert census.elected_leader == min(graph.node_ids)
+
+    def test_sample_is_valid_and_deterministic(self):
+        graph = make_topology("kout", 60, seed=5, k=3)
+        first = leader_census(graph, seed=5, sample_size=7)
+        second = leader_census(graph, seed=5, sample_size=7)
+        assert first.sample == second.sample
+        assert len(first.sample) == 7
+        assert set(first.sample) <= set(graph.node_ids)
+
+    def test_sample_capped_at_fleet_size(self):
+        graph = make_topology("path", 4)
+        census = leader_census(graph, seed=1, sample_size=100)
+        assert len(census.sample) == 4
+
+    def test_sample_size_validation(self):
+        graph = make_topology("path", 4)
+        with pytest.raises(ValueError):
+            leader_census(graph, sample_size=-1)
+
+    def test_weak_cost_is_subquadratic(self):
+        graph = make_topology("kout", 128, seed=6, k=3)
+        census = leader_census(graph, seed=6)
+        assert census.discovery.pointers < 128 * 127 / 2
+
+    def test_round_cap_error(self):
+        graph = make_topology("path", 64)
+        with pytest.raises(RuntimeError):
+            leader_census(graph, seed=1, max_rounds=2)

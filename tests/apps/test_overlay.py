@@ -1,0 +1,118 @@
+"""Unit and integration tests for overlay construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.overlay import (
+    broadcast_tree,
+    expected_tree_depth,
+    form_ring,
+    ring_successors,
+    tree_depth,
+    verify_ring,
+)
+from repro.graphs import make_topology
+
+
+class TestRingSuccessors:
+    def test_sorted_ring(self):
+        successors = ring_successors([30, 10, 20])
+        assert successors == {10: 20, 20: 30, 30: 10}
+
+    def test_single_peer_self_loop(self):
+        assert ring_successors([5]) == {5: 5}
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ring_successors([1, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ring_successors([])
+
+
+class TestVerifyRing:
+    def test_valid_ring(self):
+        assert verify_ring(ring_successors(list(range(10))))
+
+    def test_two_cycles_rejected(self):
+        assert not verify_ring({1: 2, 2: 1, 3: 4, 4: 3})
+
+    def test_missing_key_rejected(self):
+        assert not verify_ring({1: 2, 2: 3})
+
+    def test_empty_rejected(self):
+        assert not verify_ring({})
+
+
+class TestBroadcastTree:
+    def test_binary_tree_shape(self):
+        children = broadcast_tree(list(range(7)), arity=2)
+        assert children[0] == [1, 2]
+        assert children[1] == [3, 4]
+        assert children[2] == [5, 6]
+        assert tree_depth(children, 0) == 2
+
+    def test_every_peer_has_one_parent(self):
+        roster = list(range(20))
+        children = broadcast_tree(roster, arity=3)
+        seen = [child for kids in children.values() for child in kids]
+        assert sorted(seen) == sorted(set(seen))
+        assert len(seen) == 19  # all but the root
+
+    def test_custom_root(self):
+        children = broadcast_tree([1, 2, 3, 4], root=3)
+        assert tree_depth(children, 3) >= 1
+        assert 3 not in [c for kids in children.values() for c in kids]
+
+    def test_root_must_be_member(self):
+        with pytest.raises(ValueError):
+            broadcast_tree([1, 2], root=9)
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            broadcast_tree([1, 2], arity=0)
+
+    def test_depth_matches_closed_form(self):
+        for n in (1, 2, 7, 31, 100):
+            roster = list(range(n))
+            children = broadcast_tree(roster, arity=2)
+            assert tree_depth(children, 0) == expected_tree_depth(n, arity=2)
+
+    def test_cycle_detection_in_depth(self):
+        with pytest.raises(ValueError):
+            tree_depth({1: [2], 2: [1]}, 1)
+
+    def test_unary_tree_is_a_chain(self):
+        assert expected_tree_depth(5, arity=1) == 4
+
+
+class TestFormRing:
+    def test_end_to_end(self):
+        graph = make_topology("kout", 96, seed=8, k=3)
+        result = form_ring(graph, seed=8)
+        assert result.n == 96
+        assert verify_ring(result.successors)
+        assert result.discovery.completed
+        assert result.coordinator in graph.node_ids
+
+    def test_cost_accounting(self):
+        graph = make_topology("kout", 64, seed=8, k=3)
+        result = form_ring(graph, seed=8)
+        assert result.distribution_pointers == 63
+        assert result.naive_broadcast_pointers == 64 * 63
+        # Weak discovery avoided the quadratic pointer bill.
+        assert result.discovery.pointers < result.naive_broadcast_pointers
+
+    def test_random_id_space(self):
+        graph = make_topology("kout", 48, seed=9, k=3, id_space="random")
+        result = form_ring(graph, seed=9)
+        assert verify_ring(result.successors)
+
+    def test_round_cap_error(self):
+        graph = make_topology("path", 64)
+        with pytest.raises(RuntimeError):
+            form_ring(graph, seed=1, max_rounds=2)

@@ -1,0 +1,112 @@
+"""Smoke + shape tests for every experiment module at a tiny scale.
+
+Each experiment must run end-to-end, produce its artifacts, and exhibit
+the qualitative shape EXPERIMENTS.md claims — at sizes small enough for
+the unit-test budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, experiment_ids, get_experiment
+from repro.bench.seeds import Scale
+from repro.bench.tables import ExperimentReport
+
+TINY = Scale(
+    name="tiny",
+    seeds=(11, 23),
+    sweep_sizes=(24, 48),
+    focus_n=48,
+    big_n=64,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(experiment_ids()) == {
+            "T1",
+            "T2",
+            "T3",
+            "T4",
+            "T5",
+            "T6",
+            "T7",
+            "T8",
+            "F1",
+            "F2",
+            "F3",
+            "F4",
+            "F5",
+        }
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_experiment("t1").EXPERIMENT_ID == "T1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            get_experiment("T99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_renders(experiment_id: str):
+    module = EXPERIMENTS[experiment_id]
+    report = module.run(TINY)
+    assert isinstance(report, ExperimentReport)
+    assert report.experiment_id == experiment_id
+    assert report.artifacts
+    text = report.render()
+    assert experiment_id in text
+    assert "==" in text  # at least one rendered artifact
+
+
+class TestExperimentShapes:
+    def test_t1_has_column_per_algorithm(self):
+        report = get_experiment("T1").run(TINY)
+        table = report.artifacts[0]
+        assert "sublog" in table.columns
+        assert "namedropper" in table.columns
+        assert len(table.rows) == len(TINY.sweep_sizes)
+
+    def test_t2_reports_message_floor(self):
+        report = get_experiment("T2").run(TINY)
+        table = report.artifacts[0]
+        assert "msg-bound" in table.columns
+
+    def test_f2_reaches_single_cluster(self):
+        report = get_experiment("F2").run(TINY)
+        assert report.summary["merged_by_phase"] >= 1
+        history = report.summary["history"]
+        assert history[0]["clusters"] == TINY.big_n
+
+    def test_f4_reports_zero_violations(self):
+        report = get_experiment("F4").run(TINY)
+        assert all("0 violations" in note for note in report.notes)
+        # ceiling column must dominate every algorithm column
+        table = report.artifacts[0]
+        for row in table.rows:
+            ceiling = int(row[1].replace(",", ""))
+            for cell in row[2:]:
+                if cell != "-":
+                    assert int(cell.replace(",", "")) <= ceiling
+
+    def test_t3_records_completion_rates(self):
+        report = get_experiment("T3").run(TINY)
+        loss_summary = report.summary["loss"]
+        assert 0.0 in loss_summary["sublog"]
+
+    def test_t4_weak_cheaper_than_strong(self):
+        report = get_experiment("T4").run(TINY)
+        for n, row in report.summary.items():
+            assert row["weak_pointers"] <= row["strong_pointers"]
+
+    def test_t5_covers_all_variants(self):
+        report = get_experiment("T5").run(TINY)
+        assert "sublog (default)" in report.summary
+        assert "coin contraction" in report.summary
+
+    def test_t6_settle_times_recorded(self):
+        report = get_experiment("T6").run(TINY)
+        for row in report.summary.values():
+            assert row["sublog"] >= 0
+            assert row["namedropper"] >= 0

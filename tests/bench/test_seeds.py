@@ -1,0 +1,40 @@
+"""Unit tests for benchmark scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.seeds import CANONICAL_SEEDS, SCALES, bench_scale
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"small", "full"}
+
+    def test_small_is_smaller(self):
+        small, full = SCALES["small"], SCALES["full"]
+        assert max(small.sweep_sizes) < max(full.sweep_sizes)
+        assert small.seed_count <= full.seed_count
+        assert small.big_n < full.big_n
+
+    def test_seeds_are_canonical_prefixes(self):
+        for scale in SCALES.values():
+            assert scale.seeds == CANONICAL_SEEDS[: len(scale.seeds)]
+
+
+class TestBenchScale:
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_scale("small").name == "small"
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_scale().name == "full"
+
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().name == "small"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            bench_scale("galactic")

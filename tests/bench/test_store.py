@@ -1,0 +1,89 @@
+"""Unit tests for result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import sweep
+from repro.bench.store import (
+    load_metadata,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.sim.metrics import RoundStats, RunResult
+
+
+def sample_result(**overrides) -> RunResult:
+    defaults = dict(
+        algorithm="sublog",
+        n=16,
+        seed=3,
+        completed=True,
+        rounds=8,
+        messages=120,
+        pointers=500,
+        dropped_messages=2,
+        messages_by_kind={"invite": 40, "report": 80},
+        pointers_by_kind={"invite": 40, "report": 460},
+        round_stats=(RoundStats(1, 10, 50, 1), RoundStats(2, 110, 450, 1)),
+        params={"spread_limit": 1},
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestDictRoundTrip:
+    def test_without_rounds(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.algorithm == original.algorithm
+        assert restored.rounds == original.rounds
+        assert restored.messages_by_kind == dict(original.messages_by_kind)
+        assert restored.params == dict(original.params)
+        assert restored.round_stats == ()
+
+    def test_with_rounds(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original, include_rounds=True))
+        assert restored.round_stats == original.round_stats
+
+    def test_payload_is_json_safe(self):
+        json.dumps(result_to_dict(sample_result(), include_rounds=True))
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "results.json"
+        originals = [sample_result(seed=s) for s in range(4)]
+        count = save_results(originals, path, metadata={"purpose": "test"})
+        assert count == 4
+        restored = load_results(path)
+        assert [r.seed for r in restored] == [0, 1, 2, 3]
+        assert load_metadata(path) == {"purpose": "test"}
+
+    def test_real_sweep_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        results = sweep(["sublog"], "kout", [16, 24], [1, 2])
+        save_results(results, path)
+        restored = load_results(path)
+        assert len(restored) == len(results)
+        assert all(r.completed for r in restored)
+        assert {(r.algorithm, r.n, r.seed) for r in restored} == {
+            (r.algorithm, r.n, r.seed) for r in results
+        }
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 0, "results": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_results(path)

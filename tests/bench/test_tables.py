@@ -1,0 +1,73 @@
+"""Unit tests for table/figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import ExperimentReport, Figure, Table
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 12)
+        table.add_row("b", 3.5)
+        text = table.render()
+        assert "== demo ==" in text
+        lines = text.splitlines()
+        header_index = next(i for i, ln in enumerate(lines) if "name" in ln)
+        assert set(lines[header_index + 1]) <= {"-", " "}
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_cell_formatting(self):
+        table = Table("demo", ["x"])
+        table.add_row(True)
+        table.add_row(1234567)
+        table.add_row(3.14159)
+        cells = table.column("x")
+        assert cells[0] == "yes"
+        assert cells[1] == "1,234,567"
+        assert cells[2] == "3.14"
+
+    def test_csv_export(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2)
+        csv = table.to_csv()
+        assert csv.splitlines() == ["a,b", "1,2"]
+
+    def test_rows_returns_copies(self):
+        table = Table("demo", ["a"])
+        table.add_row(1)
+        table.rows[0][0] = "tampered"
+        assert table.column("a") == ["1"]
+
+
+class TestFigure:
+    def test_series_length_checked(self):
+        figure = Figure("f", "n", [1, 2, 3])
+        with pytest.raises(ValueError):
+            figure.add_series("bad", [1.0])
+
+    def test_render_contains_all_series(self):
+        figure = Figure("f", "n", [1, 2])
+        figure.add_series("a", [1.0, 2.0])
+        figure.add_series("b", [3.0, 4.0])
+        text = figure.render()
+        assert "a" in text and "b" in text and "== f ==" in text
+
+
+class TestExperimentReport:
+    def test_render_combines_artifacts_and_notes(self):
+        report = ExperimentReport("T9", "demo experiment")
+        table = Table("t", ["x"])
+        table.add_row(1)
+        report.add(table)
+        report.note("something observed")
+        text = report.render()
+        assert "T9: demo experiment" in text
+        assert "== t ==" in text
+        assert "note: something observed" in text

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import KnowledgeGraph, make_topology
+
+
+@pytest.fixture
+def tiny_path() -> KnowledgeGraph:
+    """A 5-node directed path 0->1->2->3->4."""
+    return make_topology("path", 5)
+
+
+@pytest.fixture
+def small_kout() -> KnowledgeGraph:
+    """A 32-node random 3-out graph (seeded)."""
+    return make_topology("kout", 32, seed=42, k=3)
+
+
+@pytest.fixture
+def medium_kout() -> KnowledgeGraph:
+    """A 128-node random 3-out graph (seeded)."""
+    return make_topology("kout", 128, seed=7, k=3)
+
+
+@pytest.fixture
+def star_graph() -> KnowledgeGraph:
+    """A 16-node registration star (leaves know the hub)."""
+    return make_topology("star_in", 16)

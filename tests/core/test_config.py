@@ -1,0 +1,49 @@
+"""Unit tests for SubLogConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SubLogConfig
+
+
+class TestSubLogConfig:
+    def test_defaults(self):
+        config = SubLogConfig()
+        assert config.contraction == "rank"
+        assert config.delegation is True
+        assert config.spread_limit is None
+        assert config.resilient is False
+        assert config.watchdog_phases is None
+        assert config.completion == "broadcast"
+        assert config.stagnation_phases is None
+
+    def test_is_frozen(self):
+        config = SubLogConfig()
+        with pytest.raises(AttributeError):
+            config.contraction = "coin"  # type: ignore[misc]
+
+    @pytest.mark.parametrize("contraction", ("rank", "coin"))
+    def test_valid_contractions(self, contraction: str):
+        assert SubLogConfig(contraction=contraction).contraction == contraction
+
+    def test_invalid_contraction(self):
+        with pytest.raises(ValueError, match="contraction"):
+            SubLogConfig(contraction="vote")
+
+    def test_invalid_completion(self):
+        with pytest.raises(ValueError, match="completion"):
+            SubLogConfig(completion="sometimes")
+
+    @pytest.mark.parametrize("value", (0, -1))
+    def test_invalid_spread_limit(self, value: int):
+        with pytest.raises(ValueError, match="spread_limit"):
+            SubLogConfig(spread_limit=value)
+
+    def test_invalid_watchdog(self):
+        with pytest.raises(ValueError, match="watchdog_phases"):
+            SubLogConfig(watchdog_phases=0)
+
+    def test_invalid_stagnation(self):
+        with pytest.raises(ValueError, match="stagnation_phases"):
+            SubLogConfig(stagnation_phases=0)

@@ -1,0 +1,57 @@
+"""Unit tests for the core-algorithm observers."""
+
+from __future__ import annotations
+
+import repro
+from repro.core import ClusterSizeObserver, ROUNDS_PER_PHASE, cluster_sizes
+from repro.core.sublog import SubLogNode
+from repro.graphs import make_topology
+from repro.sim import SynchronousEngine
+
+
+class TestClusterSizes:
+    def test_initial_singletons(self):
+        graph = make_topology("kout", 16, seed=1, k=2)
+        engine = SynchronousEngine(graph, SubLogNode, seed=1)
+        assert cluster_sizes(engine) == [1] * 16
+
+    def test_sizes_cover_all_nodes_at_completion(self):
+        graph = make_topology("kout", 32, seed=2, k=3)
+        engine = SynchronousEngine(graph, SubLogNode, seed=2)
+        engine.run(max_rounds=300)
+        assert sum(cluster_sizes(engine)) >= 32  # transient overlap allowed
+
+    def test_non_sublog_nodes_are_ignored(self):
+        from repro.algorithms.flooding import FloodingNode
+
+        graph = make_topology("path", 6)
+        engine = SynchronousEngine(graph, FloodingNode)
+        assert cluster_sizes(engine) == []
+
+
+class TestClusterSizeObserver:
+    def test_history_records_phase_boundaries(self):
+        graph = make_topology("kout", 48, seed=3, k=3)
+        observer = ClusterSizeObserver()
+        result = repro.discover(graph, algorithm="sublog", seed=3, observers=[observer])
+        assert result.completed
+        phases = [entry["phase"] for entry in observer.history]
+        assert phases[0] == 0
+        assert phases == sorted(phases)
+        # Every full phase boundary up to completion is present.
+        full_phases = result.rounds // ROUNDS_PER_PHASE
+        assert max(phases) >= full_phases
+
+    def test_history_fields(self):
+        graph = make_topology("kout", 32, seed=4, k=3)
+        observer = ClusterSizeObserver()
+        repro.discover(graph, algorithm="sublog", seed=4, observers=[observer])
+        for entry in observer.history:
+            assert entry["min"] <= entry["median"] <= entry["max"]
+            assert entry["clusters"] >= 1
+
+    def test_extra_exposed_in_result(self):
+        graph = make_topology("kout", 32, seed=4, k=3)
+        observer = ClusterSizeObserver()
+        result = repro.discover(graph, algorithm="sublog", seed=4, observers=[observer])
+        assert result.extra["cluster_phases"] == observer.history

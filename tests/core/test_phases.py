@@ -1,0 +1,61 @@
+"""Unit tests for phase/step arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import (
+    ROUNDS_PER_PHASE,
+    STEP_ABSORB,
+    STEP_ASSIGN,
+    STEP_DECIDE,
+    STEP_FORWARD,
+    STEP_INVITE,
+    STEP_NAMES,
+    STEP_REPORT,
+    phase_of,
+    rounds_for_phases,
+    step_of,
+)
+
+
+class TestStepArithmetic:
+    def test_phase_has_six_rounds(self):
+        assert ROUNDS_PER_PHASE == 6
+        assert len(STEP_NAMES) == 6
+
+    def test_step_sequence_of_first_phase(self):
+        steps = [step_of(r) for r in range(1, 7)]
+        assert steps == [
+            STEP_REPORT,
+            STEP_ASSIGN,
+            STEP_INVITE,
+            STEP_FORWARD,
+            STEP_DECIDE,
+            STEP_ABSORB,
+        ]
+
+    def test_steps_wrap(self):
+        assert step_of(7) == STEP_REPORT
+        assert step_of(13) == STEP_REPORT
+        assert step_of(12) == STEP_ABSORB
+
+    def test_phase_of(self):
+        assert phase_of(1) == 1
+        assert phase_of(6) == 1
+        assert phase_of(7) == 2
+        assert phase_of(12) == 2
+        assert phase_of(13) == 3
+
+    def test_rounds_for_phases(self):
+        assert rounds_for_phases(0) == 0
+        assert rounds_for_phases(3) == 18
+
+    @pytest.mark.parametrize("bad", (0, -5))
+    def test_rounds_are_one_based(self, bad: int):
+        with pytest.raises(ValueError):
+            step_of(bad)
+        with pytest.raises(ValueError):
+            phase_of(bad)
+        with pytest.raises(ValueError):
+            rounds_for_phases(-1)

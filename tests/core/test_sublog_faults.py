@@ -1,0 +1,134 @@
+"""Fault-tolerance tests for the core algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.graphs import make_topology
+from repro.sim import FaultPlan, crash_fraction_plan
+
+RESILIENT = dict(resilient=True, watchdog_phases=3, stagnation_phases=4)
+
+
+class TestMessageLoss:
+    @pytest.mark.parametrize("loss", (0.01, 0.05, 0.1))
+    def test_resilient_mode_completes_under_loss(self, loss: float):
+        graph = make_topology("kout", 96, seed=11, k=3)
+        plan = FaultPlan(loss_rate=loss, seed=11)
+        result = repro.discover(
+            graph, algorithm="sublog", seed=11, fault_plan=plan, **RESILIENT
+        )
+        assert result.completed, f"failed at loss={loss}"
+
+    def test_loss_inflates_rounds_boundedly(self):
+        graph = make_topology("kout", 96, seed=11, k=3)
+        clean = repro.discover(graph, algorithm="sublog", seed=11, **RESILIENT)
+        lossy = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=11,
+            fault_plan=FaultPlan(loss_rate=0.05, seed=11),
+            **RESILIENT,
+        )
+        assert lossy.completed
+        assert lossy.rounds <= 6 * clean.rounds
+
+    def test_dropped_messages_are_counted(self):
+        graph = make_topology("kout", 64, seed=2, k=3)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=2,
+            fault_plan=FaultPlan(loss_rate=0.1, seed=2),
+            **RESILIENT,
+        )
+        assert result.dropped_messages > 0
+        assert result.dropped_messages < result.messages
+
+    def test_heavy_loss_eventually_completes(self):
+        graph = make_topology("kout", 48, seed=5, k=3)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=5,
+            fault_plan=FaultPlan(loss_rate=0.25, seed=5),
+            max_rounds=2000,
+            **RESILIENT,
+        )
+        assert result.completed
+
+
+class TestCrashes:
+    @pytest.mark.parametrize("fraction", (0.1, 0.25))
+    def test_survivors_discover_each_other(self, fraction: float):
+        graph = make_topology("kout", 96, seed=13, k=3)
+        plan = crash_fraction_plan(graph.node_ids, fraction, crash_round=5, seed=13)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=13,
+            goal="strong_alive",
+            fault_plan=plan,
+            **RESILIENT,
+        )
+        assert result.completed
+
+    def test_crash_before_any_round(self):
+        graph = make_topology("kout", 64, seed=3, k=3)
+        plan = crash_fraction_plan(graph.node_ids, 0.15, crash_round=1, seed=3)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=3,
+            goal="strong_alive",
+            fault_plan=plan,
+            **RESILIENT,
+        )
+        assert result.completed
+
+    def test_without_watchdog_leader_crash_can_stall(self):
+        # Crash a heavy slice mid-merge with no recovery machinery: the
+        # run may stall (orphaned members wait on dead leaders).  This
+        # documents *why* the watchdog exists; we assert only that the
+        # hardened configuration succeeds where the bare one is allowed
+        # to fail.
+        graph = make_topology("kout", 64, seed=21, k=3)
+        plan = crash_fraction_plan(graph.node_ids, 0.3, crash_round=9, seed=21)
+        bare = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=21,
+            goal="strong_alive",
+            fault_plan=plan,
+            max_rounds=300,
+        )
+        hardened = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=21,
+            goal="strong_alive",
+            fault_plan=plan,
+            max_rounds=600,
+            **RESILIENT,
+        )
+        assert hardened.completed
+        assert hardened.rounds >= 1  # bare may or may not have completed
+        del bare
+
+    def test_combined_loss_and_crash(self):
+        graph = make_topology("kout", 64, seed=8, k=3)
+        crash = crash_fraction_plan(graph.node_ids, 0.1, crash_round=7, seed=8)
+        plan = FaultPlan(
+            loss_rate=0.03, crash_rounds=dict(crash.crash_rounds), seed=8
+        )
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=8,
+            goal="strong_alive",
+            fault_plan=plan,
+            max_rounds=1200,
+            **RESILIENT,
+        )
+        assert result.completed

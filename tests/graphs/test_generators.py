@@ -1,0 +1,190 @@
+"""Unit tests for topology generators.
+
+Every registered generator must (a) produce a weakly connected graph with
+exactly n nodes, (b) be deterministic in its seed, and (c) honor the
+id-space option.  Shape-specific structure is checked per generator,
+cross-validated against networkx where a reference construction exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    TOPOLOGIES,
+    ensure_weakly_connected,
+    gnp,
+    grid,
+    hypercube,
+    lollipop,
+    make_topology,
+    path,
+    preferential_attachment,
+    random_k_out,
+    star_in,
+    star_out,
+    tree,
+)
+
+SIZES = (1, 2, 3, 17, 64)
+
+
+class TestAllGeneratorsContract:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("n", SIZES)
+    def test_connected_and_sized(self, name: str, n: int):
+        graph = make_topology(name, n, seed=1)
+        assert graph.n == n
+        assert graph.is_weakly_connected()
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_deterministic_in_seed(self, name: str):
+        assert make_topology(name, 24, seed=5) == make_topology(name, 24, seed=5)
+
+    @pytest.mark.parametrize("name", ("kout", "gnp", "prefattach", "clustered"))
+    def test_seed_changes_randomized_shapes(self, name: str):
+        a = make_topology(name, 48, seed=1)
+        b = make_topology(name, 48, seed=2)
+        assert a != b
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_random_id_space(self, name: str):
+        graph = make_topology(name, 12, seed=3, id_space="random")
+        assert graph.n == 12
+        assert graph.is_weakly_connected()
+        # Random labels are 48-bit; the odds of all twelve landing below
+        # 12 are nil, so this catches accidentally ignoring the option.
+        assert max(graph.node_ids) > 12
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("moebius", 8)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology("path", 0)
+
+
+class TestShapes:
+    def test_path_structure(self):
+        graph = path(5)
+        assert graph.out(0) == frozenset({1})
+        assert graph.out(4) == frozenset()
+        assert graph.undirected_diameter() == 4
+
+    def test_cycle_has_uniform_degree(self):
+        graph = make_topology("cycle", 8)
+        assert all(len(graph.out(v)) == 1 for v in graph.node_ids)
+        assert graph.undirected_diameter() == 4
+
+    def test_star_in_leaves_know_hub(self):
+        graph = star_in(6)
+        assert graph.out(0) == frozenset()
+        assert all(graph.out(v) == frozenset({0}) for v in range(1, 6))
+
+    def test_star_out_hub_knows_leaves(self):
+        graph = star_out(6)
+        assert graph.out(0) == frozenset(range(1, 6))
+        assert all(graph.out(v) == frozenset() for v in range(1, 6))
+
+    def test_tree_children_know_parent(self):
+        graph = tree(7, arity=2)
+        assert graph.out(1) == frozenset({0})
+        assert graph.out(2) == frozenset({0})
+        assert graph.out(5) == frozenset({2})
+
+    def test_tree_arity_validation(self):
+        with pytest.raises(ValueError):
+            tree(7, arity=0)
+
+    def test_grid_diameter_is_sqrtish(self):
+        graph = grid(64)
+        assert graph.undirected_diameter() == 14  # 8x8 grid: (8-1)+(8-1)
+
+    def test_hypercube_matches_networkx_diameter(self):
+        graph = hypercube(16)
+        reference = nx.hypercube_graph(4)
+        assert graph.undirected_diameter() == nx.diameter(reference)
+
+    def test_lollipop_mixes_regimes(self):
+        graph = lollipop(20, clique_fraction=0.5)
+        # clique of 10 + path of 10: diameter = 1 + 10
+        assert graph.undirected_diameter() == 11
+
+    def test_lollipop_fraction_validation(self):
+        with pytest.raises(ValueError):
+            lollipop(10, clique_fraction=1.5)
+
+    def test_complete_graph(self):
+        graph = make_topology("complete", 7)
+        assert graph.edge_count == 42
+
+
+class TestRandomShapes:
+    def test_kout_degree(self):
+        graph = random_k_out(50, seed=2, k=4)
+        # Augmentation may add one edge per component; degrees >= k except
+        # for tiny graphs.
+        assert all(len(graph.out(v)) >= 4 for v in graph.node_ids)
+
+    def test_kout_validation(self):
+        with pytest.raises(ValueError):
+            random_k_out(10, k=0)
+
+    def test_kout_low_diameter(self):
+        graph = random_k_out(512, seed=1, k=3)
+        assert graph.undirected_diameter() <= 3 * math.log2(512)
+
+    def test_gnp_density_scales_with_p(self):
+        sparse = gnp(40, seed=1, p=0.05)
+        dense = gnp(40, seed=1, p=0.4)
+        assert dense.edge_count > sparse.edge_count
+
+    def test_gnp_p_validation(self):
+        with pytest.raises(ValueError):
+            gnp(10, p=1.5)
+
+    def test_prefattach_has_heavy_tail(self):
+        graph = preferential_attachment(300, seed=4, m=2)
+        in_degree = {v: 0 for v in graph.node_ids}
+        for v in graph.node_ids:
+            for u in graph.out(v):
+                in_degree[u] += 1
+        # A preferential-attachment hub should dwarf the median.
+        degrees = sorted(in_degree.values())
+        assert degrees[-1] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_prefattach_m_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(10, m=0)
+
+    def test_clustered_contains_cliques(self):
+        graph = make_topology("clustered", 32, seed=1, clusters=4)
+        # Nodes 0, 4, 8, ... share cluster 0 and must know each other.
+        assert 4 in graph.out(0)
+        assert 0 in graph.out(4)
+
+
+class TestEnsureWeaklyConnected:
+    def test_chains_components(self):
+        adjacency = {0: {1}, 1: set(), 2: {3}, 3: set(), 4: set()}
+        ensure_weakly_connected(adjacency)
+        from repro.graphs.knowledge import KnowledgeGraph
+
+        assert KnowledgeGraph(adjacency).is_weakly_connected()
+
+    def test_noop_on_connected(self):
+        adjacency = {0: {1}, 1: {2}, 2: set()}
+        before = {k: set(v) for k, v in adjacency.items()}
+        ensure_weakly_connected(adjacency)
+        assert adjacency == before
+
+    def test_deterministic(self):
+        a = {0: set(), 1: set(), 2: set()}
+        b = {0: set(), 1: set(), 2: set()}
+        ensure_weakly_connected(a)
+        ensure_weakly_connected(b)
+        assert a == b

@@ -1,0 +1,42 @@
+"""Unit tests for identifier namespaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.idspace import densify, make_id_mapping
+
+
+class TestMakeIdMapping:
+    def test_dense_is_identity(self):
+        mapping = make_id_mapping(5, "dense", seed=0)
+        assert mapping == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_random_is_bijective(self):
+        mapping = make_id_mapping(100, "random", seed=1)
+        assert len(mapping) == 100
+        assert len(set(mapping.values())) == 100
+
+    def test_random_labels_are_48_bit(self):
+        mapping = make_id_mapping(20, "random", seed=2)
+        assert all(0 <= label < 2**48 for label in mapping.values())
+
+    def test_random_is_deterministic(self):
+        assert make_id_mapping(30, "random", seed=7) == make_id_mapping(
+            30, "random", seed=7
+        )
+
+    def test_random_varies_with_seed(self):
+        assert make_id_mapping(30, "random", seed=7) != make_id_mapping(
+            30, "random", seed=8
+        )
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(ValueError):
+            make_id_mapping(5, "galactic", seed=0)
+
+
+class TestDensify:
+    def test_inverse_of_sparse_labels(self):
+        dense = densify([500, 10, 70])
+        assert dense == {10: 0, 70: 1, 500: 2}

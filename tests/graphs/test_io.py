@@ -1,0 +1,82 @@
+"""Unit tests for knowledge-graph serialization."""
+
+from __future__ import annotations
+
+import io
+
+import networkx as nx
+import pytest
+
+from repro.graphs import make_topology
+from repro.graphs.io import (
+    from_edge_list,
+    from_json,
+    from_networkx,
+    to_edge_list,
+    to_json,
+    to_networkx,
+)
+from repro.graphs.knowledge import KnowledgeGraph
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        graph = make_topology("kout", 24, seed=3, k=3)
+        buffer = io.StringIO()
+        to_edge_list(graph, buffer)
+        buffer.seek(0)
+        assert from_edge_list(buffer) == graph
+
+    def test_isolated_out_nodes_survive(self):
+        graph = KnowledgeGraph({0: {1}, 1: set()})
+        buffer = io.StringIO()
+        to_edge_list(graph, buffer)
+        buffer.seek(0)
+        restored = from_edge_list(buffer)
+        assert restored == graph
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(io.StringIO("1 2 3\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(io.StringIO(""))
+
+
+class TestJson:
+    def test_round_trip(self):
+        graph = make_topology("clustered", 20, seed=1, clusters=4)
+        assert from_json(to_json(graph)) == graph
+
+    def test_deterministic_output(self):
+        graph = make_topology("kout", 16, seed=2, k=2)
+        assert to_json(graph) == to_json(graph)
+
+    def test_sparse_ids_round_trip(self):
+        graph = make_topology("path", 8, id_space="random", seed=5)
+        assert from_json(to_json(graph)) == graph
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ValueError):
+            from_json("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            from_json('{"nodes": [1], "edges": [[1, 99]]}')
+
+
+class TestNetworkx:
+    def test_round_trip(self):
+        graph = make_topology("kout", 24, seed=4, k=3)
+        assert from_networkx(to_networkx(graph)) == graph
+
+    def test_structure_preserved(self):
+        graph = make_topology("tree", 15)
+        digraph = to_networkx(graph)
+        assert digraph.number_of_nodes() == 15
+        assert digraph.number_of_edges() == graph.edge_count
+        # Weak connectivity agrees with networkx's verdict.
+        assert nx.is_weakly_connected(digraph) == graph.is_weakly_connected()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.DiGraph())

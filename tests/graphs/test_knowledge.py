@@ -1,0 +1,127 @@
+"""Unit tests for the KnowledgeGraph representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.knowledge import KnowledgeGraph, complete_knowledge
+
+
+def path_graph(n: int) -> KnowledgeGraph:
+    return KnowledgeGraph({i: ({i + 1} if i + 1 < n else set()) for i in range(n)})
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        graph = KnowledgeGraph({1: {2}, 2: {3}, 3: set()})
+        assert graph.node_ids == (1, 2, 3)
+        assert graph.n == 3
+        assert graph.edge_count == 2
+        assert graph.out(1) == frozenset({2})
+        assert 2 in graph
+        assert len(graph) == 3
+        assert list(graph) == [1, 2, 3]
+
+    def test_self_loops_are_dropped(self):
+        graph = KnowledgeGraph({1: {1, 2}, 2: set()})
+        assert graph.out(1) == frozenset({2})
+        assert graph.edge_count == 1
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph({1: {99}})
+
+    def test_equality_and_hash(self):
+        a = KnowledgeGraph({1: {2}, 2: set()})
+        b = KnowledgeGraph({1: {2}, 2: set()})
+        c = KnowledgeGraph({1: set(), 2: {1}})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_adjacency_returns_copy(self):
+        graph = KnowledgeGraph({1: {2}, 2: set()})
+        adjacency = graph.adjacency()
+        adjacency[1] = frozenset()
+        assert graph.out(1) == frozenset({2})
+
+
+class TestConnectivity:
+    def test_path_is_weakly_connected(self):
+        assert path_graph(6).is_weakly_connected()
+
+    def test_disconnected_components_found(self):
+        graph = KnowledgeGraph({1: {2}, 2: set(), 3: {4}, 4: set()})
+        assert not graph.is_weakly_connected()
+        components = graph.weak_components()
+        assert sorted(sorted(c) for c in components) == [[1, 2], [3, 4]]
+
+    def test_direction_irrelevant_for_weak_connectivity(self):
+        graph = KnowledgeGraph({1: set(), 2: {1}, 3: {2}})
+        assert graph.is_weakly_connected()
+
+
+class TestMetric:
+    def test_undirected_distances_on_path(self):
+        graph = path_graph(5)
+        distances = graph.undirected_distances(0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_ball_growth(self):
+        graph = path_graph(7)
+        assert graph.undirected_ball(3, 0) == frozenset({3})
+        assert graph.undirected_ball(3, 1) == frozenset({2, 3, 4})
+        assert graph.undirected_ball(3, 10) == frozenset(range(7))
+        assert graph.undirected_ball(3, -1) == frozenset()
+
+    def test_eccentricity_and_diameter(self):
+        graph = path_graph(5)
+        assert graph.eccentricity(0) == 4
+        assert graph.eccentricity(2) == 2
+        assert graph.undirected_diameter() == 4
+
+    def test_double_sweep_matches_exact_on_path(self):
+        graph = path_graph(9)
+        assert graph.undirected_diameter(exact=False) == graph.undirected_diameter()
+
+    def test_diameter_rejects_disconnected(self):
+        graph = KnowledgeGraph({1: set(), 2: set()})
+        with pytest.raises(ValueError):
+            graph.undirected_diameter()
+
+    def test_single_node_diameter_zero(self):
+        assert KnowledgeGraph({1: set()}).undirected_diameter() == 0
+
+
+class TestDerived:
+    def test_reversed_flips_edges(self):
+        graph = KnowledgeGraph({1: {2}, 2: {3}, 3: set()})
+        reversed_graph = graph.reversed()
+        assert reversed_graph.out(2) == frozenset({1})
+        assert reversed_graph.out(1) == frozenset()
+        assert reversed_graph.reversed() == graph
+
+    def test_relabeled_preserves_structure(self):
+        graph = KnowledgeGraph({0: {1}, 1: {2}, 2: set()})
+        relabeled = graph.relabeled({0: 100, 1: 200, 2: 300})
+        assert relabeled.out(100) == frozenset({200})
+        assert relabeled.undirected_diameter() == graph.undirected_diameter()
+
+    def test_relabeled_requires_bijection(self):
+        graph = KnowledgeGraph({0: {1}, 1: set()})
+        with pytest.raises(ValueError):
+            graph.relabeled({0: 5, 1: 5})
+        with pytest.raises(ValueError):
+            graph.relabeled({0: 5})
+
+    def test_degree_stats(self):
+        graph = KnowledgeGraph({0: {1, 2}, 1: {2}, 2: set()})
+        stats = graph.degree_stats()
+        assert stats["min"] == 0.0
+        assert stats["max"] == 2.0
+        assert stats["mean"] == pytest.approx(1.0)
+
+    def test_complete_knowledge(self):
+        graph = complete_knowledge([1, 5, 9])
+        assert graph.edge_count == 6
+        assert graph.out(5) == frozenset({1, 9})

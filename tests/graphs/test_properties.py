@@ -1,0 +1,51 @@
+"""Unit tests for graph profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import make_topology
+from repro.graphs.knowledge import KnowledgeGraph
+from repro.graphs.properties import GraphProfile, knowledge_completeness, profile
+
+
+class TestProfile:
+    def test_path_profile(self):
+        result = profile(make_topology("path", 9))
+        assert result.n == 9
+        assert result.edges == 8
+        assert result.weakly_connected
+        assert result.diameter == 8
+        assert result.min_out_degree == 0
+        assert result.max_out_degree == 1
+
+    def test_lower_bound_is_log2_diameter(self):
+        result = profile(make_topology("path", 9))
+        assert result.discovery_lower_bound == 3  # ceil(log2 8)
+        single = profile(KnowledgeGraph({0: set()}))
+        assert single.discovery_lower_bound == 0
+
+    def test_disconnected_profile(self):
+        result = profile(KnowledgeGraph({0: set(), 1: set()}))
+        assert not result.weakly_connected
+        assert result.diameter == -1
+
+    def test_estimate_toggle(self):
+        graph = make_topology("kout", 64, seed=1, k=3)
+        exact = profile(graph, exact_diameter=True)
+        estimate = profile(graph, exact_diameter=False)
+        assert estimate.diameter <= exact.diameter
+
+
+class TestKnowledgeCompleteness:
+    def test_initial_path_fraction(self):
+        knowledge = {0: {0, 1}, 1: {1, 2}, 2: {2}}
+        assert knowledge_completeness(knowledge) == pytest.approx(2 / 6)
+
+    def test_complete(self):
+        universe = {0, 1, 2}
+        knowledge = {v: set(universe) for v in universe}
+        assert knowledge_completeness(knowledge) == 1.0
+
+    def test_singleton(self):
+        assert knowledge_completeness({0: {0}}) == 1.0

@@ -1,0 +1,84 @@
+"""Property-based tests for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.knowledge import KnowledgeGraph
+
+from ..strategies import weakly_connected_graphs
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_strategy_produces_connected_graphs(graph: KnowledgeGraph):
+    assert graph.is_weakly_connected()
+    assert graph.n >= 2
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_balls_are_monotone_in_radius(graph: KnowledgeGraph):
+    center = graph.node_ids[0]
+    previous = frozenset()
+    for radius in range(graph.n + 1):
+        ball = graph.undirected_ball(center, radius)
+        assert previous <= ball
+        previous = ball
+    assert previous == frozenset(graph.node_ids)
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_ball_matches_distances(graph: KnowledgeGraph):
+    center = graph.node_ids[0]
+    distances = graph.undirected_distances(center)
+    for radius in (0, 1, 2):
+        ball = graph.undirected_ball(center, radius)
+        expected = {node for node, d in distances.items() if d <= radius}
+        assert ball == frozenset(expected)
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_double_sweep_never_exceeds_exact_diameter(graph: KnowledgeGraph):
+    estimate = graph.undirected_diameter(exact=False)
+    exact = graph.undirected_diameter(exact=True)
+    assert estimate <= exact
+    # Double sweep is exact on trees and never less than half in general;
+    # on these small graphs it is a true lower bound >= exact/2.
+    assert estimate >= exact / 2
+
+
+@COMMON
+@given(graph=weakly_connected_graphs(), offset=st.integers(1, 10_000))
+def test_relabeling_preserves_metric_structure(graph: KnowledgeGraph, offset: int):
+    mapping = {node: node + offset for node in graph.node_ids}
+    relabeled = graph.relabeled(mapping)
+    assert relabeled.n == graph.n
+    assert relabeled.edge_count == graph.edge_count
+    assert relabeled.undirected_diameter() == graph.undirected_diameter()
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_reversal_is_an_involution_preserving_weak_metric(graph: KnowledgeGraph):
+    reversed_graph = graph.reversed()
+    assert reversed_graph.reversed() == graph
+    # Weak connectivity and the undirected metric ignore direction.
+    assert reversed_graph.undirected_diameter() == graph.undirected_diameter()
+
+
+@COMMON
+@given(graph=weakly_connected_graphs())
+def test_json_round_trip(graph: KnowledgeGraph):
+    from repro.graphs.io import from_json, to_json
+
+    assert from_json(to_json(graph)) == graph

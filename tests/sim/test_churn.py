@@ -1,0 +1,140 @@
+"""Unit and integration tests for dynamic joins."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.sim import SynchronousEngine, UnknownNodeError
+from repro.sim.churn import JoinPlan, late_join_workload
+
+
+class TestJoinPlan:
+    def test_defaults_empty(self):
+        plan = JoinPlan()
+        assert not plan.has_joins
+        assert plan.last_join == 0
+        assert not plan.is_dormant(5, 1)
+
+    def test_dormancy_window(self):
+        plan = JoinPlan(join_rounds={7: 5})
+        assert plan.is_dormant(7, 1)
+        assert plan.is_dormant(7, 4)
+        assert not plan.is_dormant(7, 5)
+        assert not plan.is_dormant(3, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinPlan(join_rounds={1: 0})
+
+
+class TestLateJoinWorkload:
+    def test_shape(self):
+        graph, plan = late_join_workload(32, 8, seed=1, k=3)
+        assert graph.n == 40
+        assert len(plan.join_rounds) == 8
+        assert graph.is_weakly_connected()
+
+    def test_join_schedule_is_staggered(self):
+        _, plan = late_join_workload(16, 4, seed=1, join_start=5, join_stride=3)
+        assert sorted(plan.join_rounds.values()) == [5, 8, 11, 14]
+
+    def test_join_window_spreads_evenly(self):
+        _, plan = late_join_workload(16, 8, seed=1, join_start=5, join_window=16)
+        rounds = sorted(plan.join_rounds.values())
+        assert rounds[0] == 5
+        assert rounds[-1] == 5 + (7 * 16) // 8  # last joiner inside the window
+        assert rounds[-1] <= 5 + 16
+
+    def test_join_window_denser_than_stride_for_many_joiners(self):
+        _, windowed = late_join_workload(16, 100, seed=1, join_window=20)
+        _, strided = late_join_workload(16, 100, seed=1, join_stride=2)
+        assert windowed.last_join < strided.last_join
+
+    def test_join_window_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            late_join_workload(4, 1, join_window=-1)
+
+    def test_joiner_contacts_precede_it(self):
+        graph, plan = late_join_workload(16, 6, seed=2, k=2, join_start=3)
+        for joiner, join_round in plan.join_rounds.items():
+            for contact in graph.out(joiner):
+                contact_join = plan.join_rounds.get(contact, 0)
+                assert contact_join < join_round
+
+    def test_deterministic(self):
+        a = late_join_workload(24, 5, seed=9)
+        b = late_join_workload(24, 5, seed=9)
+        assert a[0] == b[0]
+        assert a[1].join_rounds == b[1].join_rounds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            late_join_workload(0, 1)
+        with pytest.raises(ValueError):
+            late_join_workload(4, -1)
+        with pytest.raises(ValueError):
+            late_join_workload(4, 1, contacts=0)
+
+
+class TestEngineIntegration:
+    def test_unknown_join_node_rejected(self):
+        from repro.algorithms.flooding import FloodingNode
+
+        with pytest.raises(UnknownNodeError):
+            SynchronousEngine(
+                {0: {1}, 1: set()},
+                FloodingNode,
+                join_plan=JoinPlan(join_rounds={99: 3}),
+            )
+
+    def test_dormant_node_sends_nothing_before_join(self):
+        graph, plan = late_join_workload(8, 1, seed=1, k=2, join_start=9)
+        joiner = 8
+        from repro.sim import TraceObserver
+
+        observer = TraceObserver(nodes=(joiner,))
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=1,
+            join_plan=plan,
+            observers=[observer],
+        )
+        assert result.completed
+        assert all(
+            event.round_no >= 9
+            for event in observer.events
+            if event.sender == joiner
+        )
+
+    def test_completion_waits_for_the_last_join(self):
+        graph, plan = late_join_workload(32, 4, seed=4, k=3, join_start=15)
+        result = repro.discover(graph, algorithm="sublog", seed=4, join_plan=plan)
+        assert result.completed
+        assert result.rounds >= plan.last_join
+
+    @pytest.mark.parametrize("algorithm", ("sublog", "namedropper", "flooding"))
+    def test_algorithms_absorb_joiners(self, algorithm: str):
+        graph, plan = late_join_workload(40, 8, seed=6, k=3)
+        result = repro.discover(graph, algorithm=algorithm, seed=6, join_plan=plan)
+        assert result.completed
+
+    def test_churn_with_loss(self):
+        from repro.sim import FaultPlan
+
+        graph, plan = late_join_workload(32, 6, seed=7, k=3)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=7,
+            join_plan=plan,
+            fault_plan=FaultPlan(loss_rate=0.03, seed=7),
+            resilient=True,
+            watchdog_phases=3,
+            stagnation_phases=4,
+            max_rounds=1500,
+        )
+        assert result.completed

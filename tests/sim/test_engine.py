@@ -1,0 +1,264 @@
+"""Unit tests for the synchronous engine: legality, timing, goals."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.sim.engine import SynchronousEngine, default_max_rounds
+from repro.sim.errors import EngineStateError, ProtocolViolation, UnknownNodeError
+from repro.sim.faults import FaultPlan
+from repro.sim.messages import Message
+from repro.sim.node import ProtocolNode
+from repro.sim.observers import Observer
+
+
+class SilentNode(ProtocolNode):
+    """Sends nothing, ever."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        pass
+
+
+class GossipNode(ProtocolNode):
+    """Sends full knowledge to everyone known, every round (swamping)."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        for peer in sorted(self.known - {self.node_id}):
+            self.send(peer, "gossip", ids=self.known - {self.node_id, peer})
+
+
+class CheaterNode(ProtocolNode):
+    """Tries to message a machine it does not know."""
+
+    def __init__(self, node_id: int, cheat_target: int):
+        super().__init__(node_id)
+        self.cheat_target = cheat_target
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        if self.cheat_target not in self.known:
+            self.send(self.cheat_target, "cheat")
+
+
+class IdSmuggler(ProtocolNode):
+    """Tries to include an id it does not know in a message."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        for peer in self.known - {self.node_id}:
+            self.send(peer, "smuggle", ids=(999,))
+            break
+
+
+def line(n: int) -> dict:
+    """Adjacency for a directed path 0 -> 1 -> ... -> n-1."""
+    return {i: ({i + 1} if i + 1 < n else set()) for i in range(n)}
+
+
+class TestEngineBasics:
+    def test_single_node_completes_immediately(self):
+        engine = SynchronousEngine({0: set()}, SilentNode)
+        result = engine.run()
+        assert result.completed
+        assert result.rounds == 0
+        assert result.messages == 0
+
+    def test_two_node_gossip_completes_in_one_round(self):
+        # 0 knows 1; in round 1, 0 messages 1, so 1 learns 0's address.
+        engine = SynchronousEngine({0: {1}, 1: set()}, GossipNode)
+        result = engine.run()
+        assert result.completed
+        assert result.rounds == 1
+
+    def test_gossip_squares_the_path(self):
+        # Swamping doubles knowledge radius per round: the 9-node path
+        # needs exactly ceil(log2(8)) = 3 rounds... plus one round for the
+        # reverse edges to appear; allow the known tight window.
+        engine = SynchronousEngine(line(9), GossipNode)
+        result = engine.run()
+        assert result.completed
+        assert 3 <= result.rounds <= 5
+
+    def test_empty_graph_is_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine({}, SilentNode)
+
+    def test_initially_complete_graph_needs_zero_rounds(self):
+        adjacency = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        result = SynchronousEngine(adjacency, SilentNode).run()
+        assert result.completed
+        assert result.rounds == 0
+
+    def test_stray_initial_neighbor_is_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            SynchronousEngine({0: {5}}, SilentNode)
+
+    def test_incomplete_run_reports_cap(self):
+        engine = SynchronousEngine(line(4), SilentNode)
+        result = engine.run(max_rounds=7)
+        assert not result.completed
+        assert result.rounds == 7
+
+    def test_engine_cannot_run_twice(self):
+        engine = SynchronousEngine({0: {1}, 1: set()}, GossipNode)
+        engine.run()
+        with pytest.raises(EngineStateError):
+            engine.run()
+
+
+class TestLegality:
+    def test_unknown_recipient_raises(self):
+        engine = SynchronousEngine(
+            {0: {1}, 1: set(), 2: {0}},
+            lambda node_id: CheaterNode(node_id, cheat_target=(node_id + 2) % 3),
+        )
+        with pytest.raises(ProtocolViolation):
+            engine.run(max_rounds=3)
+
+    def test_unknown_id_in_payload_raises(self):
+        engine = SynchronousEngine({0: {1}, 1: {0}, 2: {0}}, IdSmuggler)
+        with pytest.raises(ProtocolViolation):
+            engine.run(max_rounds=3)
+
+    def test_legality_check_can_be_disabled(self):
+        # With enforcement off, the smuggled id (which names no simulated
+        # machine) is ignored by ground truth instead of raising.
+        engine = SynchronousEngine(
+            {0: {1}, 1: {0}, 2: {0}}, IdSmuggler, enforce_legality=False
+        )
+        engine.step()
+        engine.step()
+        assert 999 not in engine.knowledge[0]
+        assert 999 not in engine.knowledge[1]
+
+    def test_learning_rule_sender_and_ids(self):
+        engine = SynchronousEngine({0: {1}, 1: set(), 2: {0}}, SilentNode)
+        # Manually drive one round with a handcrafted send from node 2.
+        node = engine.nodes[2]
+        node.send(0, "hi")
+        engine.step()
+        assert 2 in engine.knowledge[0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        def run(seed: int):
+            engine = SynchronousEngine(line(8), GossipNode, seed=seed)
+            result = engine.run()
+            return (result.rounds, result.messages, result.pointers)
+
+        assert run(5) == run(5)
+
+
+class TestGoals:
+    def test_weak_goal_on_star(self):
+        # Leaves know the hub; hub learns leaves as they message it.
+        adjacency = {0: set(), **{i: {0} for i in range(1, 6)}}
+        engine = SynchronousEngine(adjacency, GossipNode, goal="weak")
+        result = engine.run()
+        assert result.completed
+        assert result.rounds == 1  # all leaves hit the hub in round 1
+
+    def test_weak_leader_identification(self):
+        adjacency = {0: set(), **{i: {0} for i in range(1, 4)}}
+        engine = SynchronousEngine(adjacency, GossipNode, goal="weak")
+        engine.run()
+        assert engine.weak_leader() == 0
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine({0: set()}, SilentNode, goal="bogus")
+
+    def test_custom_goal_predicate(self):
+        calls = []
+
+        def goal(engine) -> bool:
+            calls.append(engine.round_no)
+            return engine.round_no >= 2
+
+        engine = SynchronousEngine(line(6), GossipNode, goal=goal)
+        result = engine.run()
+        assert result.rounds == 2
+        assert calls
+
+
+class TestCrashes:
+    def test_crashed_node_stops_participating(self):
+        plan = FaultPlan(crash_rounds={1: 1})
+        engine = SynchronousEngine(
+            {0: {1}, 1: {2}, 2: set()}, GossipNode, fault_plan=plan
+        )
+        result = engine.run(max_rounds=10)
+        # Node 1 crashed before ever sending: 2's address can never reach 0.
+        assert not result.completed
+        assert 2 not in engine.knowledge[0]
+
+    def test_strong_alive_ignores_crashed(self):
+        plan = FaultPlan(crash_rounds={2: 1})
+        adjacency = {0: {1}, 1: {0}, 2: set()}
+        engine = SynchronousEngine(
+            adjacency, GossipNode, fault_plan=plan, goal="strong_alive"
+        )
+        result = engine.run(max_rounds=10)
+        assert result.completed  # 0 and 1 know each other; 2 is dead
+
+    def test_crashed_nodes_reported(self):
+        plan = FaultPlan(crash_rounds={1: 2})
+        engine = SynchronousEngine(line(3), GossipNode, fault_plan=plan)
+        engine.run(max_rounds=5)
+        assert engine.crashed_nodes == frozenset({1})
+        assert 1 not in engine.alive_nodes
+
+
+class TestObserversAndMetrics:
+    def test_observer_hooks_fire(self):
+        events = []
+
+        class Recorder(Observer):
+            def on_setup(self, engine):
+                events.append("setup")
+
+            def on_round_end(self, engine, round_no):
+                events.append(round_no)
+
+            def on_finish(self, engine, completed):
+                events.append(("finish", completed))
+
+            def extra(self):
+                return {"events": len(events)}
+
+        engine = SynchronousEngine(
+            {0: {1}, 1: set()}, GossipNode, observers=[Recorder()]
+        )
+        result = engine.run()
+        assert events[0] == "setup"
+        assert events[-1] == ("finish", True)
+        assert result.extra["events"] == len(events)
+
+    def test_round_stats_cover_every_round(self):
+        engine = SynchronousEngine(line(5), GossipNode)
+        result = engine.run()
+        assert len(result.round_stats) == result.rounds
+        assert sum(s.messages for s in result.round_stats) == result.messages
+
+    def test_result_metadata(self):
+        engine = SynchronousEngine(
+            {0: {1}, 1: set()},
+            GossipNode,
+            algorithm_name="gossip-test",
+            params={"p": 1},
+            seed=44,
+        )
+        result = engine.run()
+        assert result.algorithm == "gossip-test"
+        assert result.params == {"p": 1}
+        assert result.seed == 44
+        assert result.n == 2
+
+
+class TestDefaultMaxRounds:
+    def test_grows_with_n(self):
+        assert default_max_rounds(2) < default_max_rounds(1 << 20)
+
+    def test_is_generous(self):
+        assert default_max_rounds(1024) > 200

@@ -1,0 +1,47 @@
+"""Unit tests for message representation and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import MESSAGE_HEADER_WORDS, Message, message_bits
+
+
+class TestMessage:
+    def test_pointer_count_counts_ids(self):
+        message = Message(kind="x", sender=1, recipient=2, ids=(3, 4, 5))
+        assert message.pointer_count == 3
+
+    def test_empty_ids_have_zero_pointers(self):
+        message = Message(kind="x", sender=1, recipient=2)
+        assert message.pointer_count == 0
+
+    def test_ids_accept_frozenset(self):
+        message = Message(kind="x", sender=1, recipient=2, ids=frozenset({7, 8}))
+        assert message.pointer_count == 2
+
+    def test_message_is_immutable(self):
+        message = Message(kind="x", sender=1, recipient=2)
+        with pytest.raises(AttributeError):
+            message.kind = "y"  # type: ignore[misc]
+
+    def test_repr_is_compact(self):
+        message = Message(kind="invite", sender=1, recipient=2, ids=(9,))
+        text = repr(message)
+        assert "invite" in text
+        assert "1->2" in text
+        assert "|ids|=1" in text
+
+    def test_data_payload_is_preserved(self):
+        message = Message(kind="x", sender=1, recipient=2, data=(5, True))
+        assert message.data == (5, True)
+
+
+class TestMessageBits:
+    def test_bits_charge_header_and_pointers(self):
+        message = Message(kind="x", sender=1, recipient=2, ids=(3, 4))
+        assert message_bits(message, id_bits=10) == (2 + MESSAGE_HEADER_WORDS) * 10
+
+    def test_empty_message_still_costs_header(self):
+        message = Message(kind="x", sender=1, recipient=2)
+        assert message_bits(message, id_bits=8) == MESSAGE_HEADER_WORDS * 8

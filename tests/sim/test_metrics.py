@@ -1,0 +1,85 @@
+"""Unit tests for complexity accounting."""
+
+from __future__ import annotations
+
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector, RunResult
+
+
+def _msg(kind: str = "x", ids: tuple = ()) -> Message:
+    return Message(kind=kind, sender=1, recipient=2, ids=ids)
+
+
+class TestMetricsCollector:
+    def test_totals_accumulate(self):
+        collector = MetricsCollector()
+        collector.record_send(_msg(ids=(1, 2)))
+        collector.record_send(_msg(ids=(3,)))
+        assert collector.total_messages == 2
+        assert collector.total_pointers == 3
+
+    def test_dropped_messages_still_charged(self):
+        collector = MetricsCollector()
+        collector.record_send(_msg(ids=(1,)), dropped=True)
+        assert collector.total_messages == 1
+        assert collector.total_pointers == 1
+        assert collector.total_dropped == 1
+
+    def test_per_kind_breakdown(self):
+        collector = MetricsCollector()
+        collector.record_send(_msg(kind="a", ids=(1,)))
+        collector.record_send(_msg(kind="a"))
+        collector.record_send(_msg(kind="b", ids=(1, 2)))
+        assert collector.messages_by_kind == {"a": 2, "b": 1}
+        assert collector.pointers_by_kind == {"a": 1, "b": 2}
+
+    def test_close_round_resets_round_counters(self):
+        collector = MetricsCollector()
+        collector.record_send(_msg(ids=(1,)))
+        first = collector.close_round(1)
+        assert first.messages == 1
+        assert first.pointers == 1
+        second = collector.close_round(2)
+        assert second.messages == 0
+        assert collector.total_messages == 1
+
+    def test_round_stats_record_drops(self):
+        collector = MetricsCollector()
+        collector.record_send(_msg(), dropped=True)
+        collector.record_send(_msg())
+        stats = collector.close_round(1)
+        assert stats.dropped_messages == 1
+        assert stats.delivered_messages == 1
+
+
+class TestRunResult:
+    def _result(self, **overrides) -> RunResult:
+        defaults = dict(
+            algorithm="test",
+            n=16,
+            seed=0,
+            completed=True,
+            rounds=5,
+            messages=100,
+            pointers=400,
+        )
+        defaults.update(overrides)
+        return RunResult(**defaults)
+
+    def test_id_bits_is_ceil_log2(self):
+        assert self._result(n=16).id_bits == 4
+        assert self._result(n=17).id_bits == 5
+        assert self._result(n=2).id_bits == 1
+
+    def test_bits_include_headers(self):
+        result = self._result(n=16, messages=10, pointers=40)
+        assert result.bits == (40 + 4 * 10) * 4
+
+    def test_messages_per_node(self):
+        assert self._result(n=16, messages=160).messages_per_node == 10.0
+
+    def test_summary_is_flat(self):
+        summary = self._result().summary()
+        assert summary["algorithm"] == "test"
+        assert summary["rounds"] == 5
+        assert "bits" in summary

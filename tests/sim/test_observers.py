@@ -1,0 +1,83 @@
+"""Unit tests for the shipped observers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.engine import SynchronousEngine
+from repro.sim.messages import Message
+from repro.sim.node import ProtocolNode
+from repro.sim.observers import KnowledgeSizeObserver, RoundLogObserver
+
+
+class GossipNode(ProtocolNode):
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+        for peer in sorted(self.known - {self.node_id}):
+            self.send(peer, "gossip", ids=self.known - {self.node_id, peer})
+
+
+def line(n: int) -> dict:
+    return {i: ({i + 1} if i + 1 < n else set()) for i in range(n)}
+
+
+class TestKnowledgeSizeObserver:
+    def test_history_covers_setup_and_rounds(self):
+        observer = KnowledgeSizeObserver()
+        engine = SynchronousEngine(line(6), GossipNode, observers=[observer])
+        result = engine.run()
+        assert len(observer.history) == result.rounds + 1  # +1 for setup
+        assert observer.history[0]["round"] == 0
+
+    def test_sizes_are_monotone_under_gossip(self):
+        observer = KnowledgeSizeObserver()
+        engine = SynchronousEngine(line(6), GossipNode, observers=[observer])
+        engine.run()
+        means = [entry["mean"] for entry in observer.history]
+        assert means == sorted(means)
+        assert observer.history[-1]["min"] == 6.0  # complete
+
+    def test_extra_exposes_history(self):
+        observer = KnowledgeSizeObserver()
+        engine = SynchronousEngine(line(4), GossipNode, observers=[observer])
+        result = engine.run()
+        assert result.extra["knowledge_sizes"] == observer.history
+
+
+class TestLoadObserver:
+    def test_star_gossip_has_a_hotspot(self):
+        from repro.sim.observers import LoadObserver
+
+        # All five leaves gossip to the hub every round: the hub's inbox
+        # is 5 while leaves receive little.
+        adjacency = {0: set(), **{i: {0} for i in range(1, 6)}}
+        observer = LoadObserver()
+        engine = SynchronousEngine(adjacency, GossipNode, observers=[observer])
+        engine.run(max_rounds=10)
+        assert observer.peak_receive_load() >= 5
+        assert observer.load_skew() > 1.5
+
+    def test_uniform_exchange_has_low_skew(self):
+        from repro.sim.observers import LoadObserver
+
+        observer = LoadObserver()
+        engine = SynchronousEngine(line(6), GossipNode, observers=[observer])
+        engine.run()
+        assert observer.load_skew() < 3.0
+
+    def test_extra_fields(self):
+        from repro.sim.observers import LoadObserver
+
+        observer = LoadObserver()
+        engine = SynchronousEngine(line(4), GossipNode, observers=[observer])
+        result = engine.run()
+        assert result.extra["peak_receive_load"] == observer.peak_receive_load()
+        assert result.extra["load_skew"] == observer.load_skew()
+
+
+class TestRoundLogObserver:
+    def test_one_line_per_round(self):
+        observer = RoundLogObserver()
+        engine = SynchronousEngine(line(5), GossipNode, observers=[observer])
+        result = engine.run()
+        assert len(observer.lines) == result.rounds
+        assert all("round" in ln and "msgs=" in ln for ln in observer.lines)

@@ -1,0 +1,84 @@
+"""Unit tests for the trace observer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro
+from repro.graphs import make_topology
+from repro.sim.trace import TraceEvent, TraceObserver, read_jsonl
+
+
+def traced_run(**kwargs):
+    observer = TraceObserver(**kwargs)
+    graph = make_topology("kout", 16, seed=1, k=2)
+    result = repro.discover(graph, algorithm="sublog", seed=1, observers=[observer])
+    return observer, result
+
+
+class TestTraceObserver:
+    def test_records_every_delivered_message(self):
+        observer, result = traced_run()
+        delivered = result.messages - result.dropped_messages
+        assert len(observer.events) == delivered
+
+    def test_kind_filter(self):
+        observer, result = traced_run(kinds=("invite",))
+        assert observer.events
+        assert all(event.kind == "invite" for event in observer.events)
+        assert len(observer.events) == result.messages_by_kind["invite"]
+
+    def test_node_filter(self):
+        observer, _ = traced_run(nodes=(0,))
+        assert observer.events
+        assert all(0 in (e.sender, e.recipient) for e in observer.events)
+
+    def test_limit_truncates(self):
+        observer, _ = traced_run(limit=10)
+        assert len(observer.events) == 10
+        assert observer.truncated
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            TraceObserver(limit=0)
+
+    def test_by_kind_totals(self):
+        observer, result = traced_run()
+        by_kind = observer.by_kind()
+        assert sum(by_kind.values()) == len(observer.events)
+        assert by_kind["invite"] == result.messages_by_kind["invite"]
+
+    def test_rounds_covered_sorted(self):
+        observer, result = traced_run()
+        rounds = observer.rounds_covered()
+        assert list(rounds) == sorted(rounds)
+        assert max(rounds) <= result.rounds
+
+    def test_format_is_readable(self):
+        observer, _ = traced_run(limit=50)
+        text = observer.format(max_lines=5)
+        assert "->" in text
+        assert "more events" in text or len(observer.events) <= 5
+
+    def test_extra_summary(self):
+        observer, result = traced_run()
+        assert result.extra["trace_events"] == len(observer.events)
+        assert not result.extra["trace_truncated"]
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self):
+        observer, _ = traced_run(limit=40)
+        buffer = io.StringIO()
+        count = observer.write_jsonl(buffer)
+        assert count == len(observer.events)
+        buffer.seek(0)
+        parsed = read_jsonl(buffer)
+        assert parsed == observer.events
+
+    def test_event_format(self):
+        event = TraceEvent(round_no=3, kind="join", sender=1, recipient=2, pointers=4)
+        assert "r   3" in event.format()
+        assert "join" in event.format()

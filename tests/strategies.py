@@ -1,0 +1,66 @@
+"""Hypothesis strategies for property-based tests.
+
+The central strategy, :func:`weakly_connected_graphs`, draws arbitrary
+weakly connected directed knowledge graphs — the exact input class of the
+resource-discovery problem — over either dense or shuffled-sparse
+identifier namespaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from hypothesis import strategies as st
+
+from repro.graphs.generators import ensure_weakly_connected
+from repro.graphs.knowledge import KnowledgeGraph
+
+
+@st.composite
+def weakly_connected_graphs(
+    draw: st.DrawFn,
+    min_nodes: int = 2,
+    max_nodes: int = 16,
+    sparse_ids: bool = True,
+) -> KnowledgeGraph:
+    """Draw a weakly connected directed graph.
+
+    Edges are drawn independently with a drawn density; the generator
+    augmentation then links any remaining weak components, exactly as the
+    library does for its own random topologies — so the strategy's output
+    distribution includes paths, near-cliques, and everything between.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    adjacency: Dict[int, Set[int]] = {node: set() for node in range(n)}
+    for node in range(n):
+        for other in range(n):
+            if other != node and draw(
+                st.booleans() if density > 0.25 else st.sampled_from([False, False, False, True])
+            ):
+                if draw(st.floats(min_value=0, max_value=1)) < density * 2:
+                    adjacency[node].add(other)
+    ensure_weakly_connected(adjacency)
+    if sparse_ids and draw(st.booleans()):
+        # Remap to a sparse, shuffled namespace to break density assumptions.
+        offsets = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=50),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        labels = []
+        current = draw(st.integers(min_value=0, max_value=1000))
+        for offset in offsets:
+            current += offset
+            labels.append(current)
+        mapping = dict(zip(range(n), labels))
+        adjacency = {
+            mapping[node]: {mapping[neighbor] for neighbor in neighbors}
+            for node, neighbors in adjacency.items()
+        }
+    return KnowledgeGraph(adjacency)
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)

@@ -1,0 +1,50 @@
+"""Tests for the top-level public API (`repro.discover` and exports)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestDiscover:
+    def test_accepts_plain_mapping(self):
+        result = repro.discover({0: {1}, 1: {2}, 2: set()}, algorithm="swamping")
+        assert result.completed
+
+    def test_accepts_knowledge_graph(self):
+        graph = repro.make_topology("kout", 24, seed=1, k=2)
+        result = repro.discover(graph)
+        assert result.completed
+        assert result.algorithm == "sublog"
+
+    def test_default_algorithm_is_the_core_contribution(self):
+        result = repro.discover({0: {1}, 1: set()})
+        assert result.algorithm == "sublog"
+
+    def test_params_recorded_in_result(self):
+        graph = repro.make_topology("kout", 24, seed=1, k=2)
+        result = repro.discover(graph, algorithm="sublog", spread_limit=2)
+        assert result.params == {"spread_limit": 2}
+
+    def test_max_rounds_override(self):
+        graph = repro.make_topology("path", 64)
+        result = repro.discover(graph, algorithm="flooding", max_rounds=3)
+        assert not result.completed
+        assert result.rounds == 3
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            repro.discover({0: set()}, algorithm="teleport")
+
+    def test_convenience_generators_exported(self):
+        assert repro.random_k_out(8, seed=1, k=2).n == 8
+        assert repro.path(4).n == 4
+        assert repro.preferential_attachment(8, seed=1).n == 8
+
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_list_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sublog" in out
+        assert "kout" in out
+        assert "T1" in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            ["run", "--algorithm", "sublog", "--topology", "kout", "--n", "48",
+             "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed : True" in out
+        assert "rounds" in out
+
+    def test_run_with_loss(self, capsys):
+        code = main(
+            ["run", "--algorithm", "sublog", "--topology", "kout", "--n", "32",
+             "--seed", "2", "--loss", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dropped" in out
+
+    def test_run_weak_goal(self, capsys):
+        code = main(
+            ["run", "--algorithm", "swamping", "--topology", "star_in", "--n", "16",
+             "--goal", "weak"]
+        )
+        assert code == 0
+        assert "goal      : weak" in capsys.readouterr().out
+
+    def test_run_random_id_space(self, capsys):
+        code = main(
+            ["run", "--algorithm", "flooding", "--topology", "path", "--n", "12",
+             "--id-space", "random"]
+        )
+        assert code == 0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "quantum"])
+
+
+class TestExperiment:
+    def test_experiment_writes_report(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        # T4 is the fastest experiment; still guard the runtime by scale.
+        code = main(["experiment", "T4", "--scale", "small", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T4" in out
+        assert (tmp_path / "T4.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            main(["experiment", "T42"])
+
+
+class TestSweep:
+    def test_sweep_saves_results(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--algorithms", "sublog", "--sizes", "24", "--seeds", "1",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "saved 1 results" in capsys.readouterr().out
+        from repro.bench.store import load_metadata, load_results
+
+        assert len(load_results(out)) == 1
+        assert load_metadata(out)["topology"] == "kout"
+
+
+class TestTraceAndSparkline:
+    def test_trace_file_written(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "--algorithm", "sublog", "--topology", "kout", "--n", "24",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        assert trace.exists()
+        assert trace.read_text().strip()
+
+    def test_sparkline_printed(self, capsys):
+        code = main(
+            ["run", "--algorithm", "swamping", "--topology", "star_in",
+             "--n", "16", "--sparkline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converge" in out
+        assert "t100=" in out
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

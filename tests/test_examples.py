@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end at a reduced size."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = (
+    ("quickstart.py", ["96"]),
+    ("datacenter_bootstrap.py", ["96", "8"]),
+    ("p2p_overlay.py", ["64"]),
+    ("failure_study.py", ["96"]),
+    ("rolling_expansion.py", ["64", "8"]),
+)
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script: str, args: list):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_all_algorithms():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "64"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    for name in ("sublog", "namedropper", "flooding"):
+        assert name in completed.stdout
+
+
+def test_p2p_overlay_builds_ring():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "p2p_overlay.py"), "48"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "single cycle" in completed.stdout
