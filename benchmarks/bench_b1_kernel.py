@@ -14,11 +14,13 @@ import pytest
 
 import repro
 from repro.algorithms.registry import get_algorithm
+from repro.bench.replay import record_run, replay_engine
 from repro.graphs import make_topology
 from repro.sim import SynchronousEngine
 
 N = 256
 SEED = 11
+STEADY_WINDOW = 5  # replayed tail rounds; see recorded_namedropper
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +28,25 @@ def kout_graph():
     return make_topology("kout", N, seed=SEED, k=3)
 
 
-def test_b1_engine_rounds_namedropper(benchmark, kout_graph):
+@pytest.fixture(scope="module")
+def recorded_namedropper(kout_graph):
+    """One recorded Name-Dropper run whose last STEADY_WINDOW rounds form
+    the steady-state kernel (peak pointer traffic, knowledge nearly full)."""
+    spec = get_algorithm("namedropper")
+    probe = repro.discover(
+        kout_graph, algorithm="namedropper", seed=SEED, enforce_legality=False
+    )
+    return record_run(
+        kout_graph,
+        spec.node_factory(),
+        seed=SEED,
+        snapshot_rounds=(probe.rounds - STEADY_WINDOW,),
+        max_rounds=spec.round_cap(N),
+    )
+
+
+@pytest.mark.parametrize("fast_path", [False, True], ids=["legacy", "fast"])
+def test_b1_engine_rounds_namedropper(benchmark, kout_graph, fast_path):
     """Cost of executing 5 gossip rounds (heavy pointer traffic)."""
 
     def run_five_rounds():
@@ -35,12 +55,36 @@ def test_b1_engine_rounds_namedropper(benchmark, kout_graph):
             get_algorithm("namedropper").node_factory(),
             seed=SEED,
             enforce_legality=False,
+            fast_path=fast_path,
         )
         for _ in range(5):
             engine.step()
         return engine.round_no
 
     assert benchmark(run_five_rounds) == 5
+
+
+@pytest.mark.parametrize("fast_path", [False, True], ids=["legacy", "fast"])
+def test_b1_steady_state_replay(benchmark, recorded_namedropper, fast_path):
+    """Engine-only round throughput in the run's heaviest regime.
+
+    Replays the final STEADY_WINDOW rounds of the recorded Name-Dropper
+    run from a knowledge snapshot, so protocol work and engine
+    construction are both excluded — this is the pure delivery/learning
+    kernel the fast path was built for (see docs/PERF.md).
+    """
+    recorded = recorded_namedropper
+    start = recorded.rounds - STEADY_WINDOW + 1
+
+    def make_engine():
+        return (replay_engine(recorded, start_round=start, fast_path=fast_path),), {}
+
+    def run_window(engine):
+        for _ in range(STEADY_WINDOW):
+            engine.step()
+        return engine.is_strongly_complete()
+
+    assert benchmark.pedantic(run_window, setup=make_engine, rounds=20)
 
 
 def test_b1_full_sublog_run(benchmark, kout_graph):

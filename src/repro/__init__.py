@@ -89,6 +89,8 @@ def discover(
     observers: Iterable[Observer] = (),
     max_rounds: Optional[int] = None,
     enforce_legality: bool = True,
+    fast_path: bool = True,
+    profile: bool = False,
     **params: Any,
 ) -> RunResult:
     """Run one resource-discovery protocol to completion.
@@ -108,6 +110,11 @@ def discover(
         max_rounds: Round cap; defaults to the algorithm's registered cap.
         enforce_legality: Verify every message against the communication
             model (default on; benchmarks may disable for speed).
+        fast_path: Run on the engine's dense bitmask path (default on —
+            it is differential-tested bit-identical to the legacy path;
+            pass ``False`` to use the reference implementation).
+        profile: Record per-phase engine timings into
+            ``result.extra["phase_timings"]``.
         **params: Algorithm parameters (for ``sublog``/``detmerge`` these
             are :class:`SubLogConfig` fields; e.g. ``resilient=True``).
 
@@ -126,6 +133,8 @@ def discover(
         jitter=jitter,
         observers=observers,
         enforce_legality=enforce_legality,
+        fast_path=fast_path,
+        profile=profile,
         algorithm_name=algorithm,
         params=params,
     )

@@ -1,6 +1,8 @@
-"""Benchmark harness: sweep runner, tables, scales, and experiments."""
+"""Benchmark harness: sweep runner, tables, scales, experiments, and
+record-and-replay engine kernels."""
 
-from .runner import Case, build_graph, index_results, run_case, sweep
+from .replay import RecordedRun, ReplayNode, record_run, replay_engine
+from .runner import Case, build_graph, index_results, run_case, sweep, sweep_seeds
 from .seeds import CANONICAL_SEEDS, SCALES, Scale, bench_scale
 from .store import load_metadata, load_results, save_results
 from .tables import ExperimentReport, Figure, Series, Table
@@ -10,6 +12,8 @@ __all__ = [
     "Case",
     "ExperimentReport",
     "Figure",
+    "RecordedRun",
+    "ReplayNode",
     "SCALES",
     "Scale",
     "Series",
@@ -19,7 +23,10 @@ __all__ = [
     "index_results",
     "load_metadata",
     "load_results",
+    "record_run",
+    "replay_engine",
     "run_case",
     "save_results",
     "sweep",
+    "sweep_seeds",
 ]

@@ -1,15 +1,26 @@
 """Sweep execution for the benchmark harness.
 
 :func:`run_case` executes one (algorithm, topology, n, seed) cell;
-:func:`sweep` executes a full matrix.  Runs in the harness disable the
-per-message legality check by default — the model conformance of every
-shipped algorithm is established by the test suite (including the strict
-ball-containment observer), so the harness pays for it only in experiment
-F4, which is *about* the invariant.
+:func:`sweep` executes a full matrix, optionally fanned out over worker
+processes.  Runs in the harness disable the per-message legality check by
+default — the model conformance of every shipped algorithm is established
+by the test suite (including the strict ball-containment observer), so the
+harness pays for it only in experiment F4, which is *about* the invariant.
+For the same reason the harness runs on the engine's dense fast path by
+default: the differential suite holds it bit-identical to the reference
+path, and the experiments exist to measure protocols, not to re-prove the
+engine.
+
+Parallel sweeps are deterministic: every cell's randomness derives from
+the cell's own seed (see :func:`sweep_seeds` for deriving a seed list from
+one master seed via ``sim.rng``), each worker rebuilds its input graph
+from that seed, and results return in case order — so ``workers=8`` and
+``workers=1`` produce identical result lists.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -18,6 +29,7 @@ from ..graphs.knowledge import KnowledgeGraph
 from ..sim.faults import FaultPlan
 from ..sim.metrics import RunResult
 from ..sim.observers import Observer
+from ..sim.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -45,6 +57,19 @@ def build_graph(case: Case) -> KnowledgeGraph:
     )
 
 
+def sweep_seeds(master_seed: int, count: int) -> List[int]:
+    """Derive *count* independent 32-bit case seeds from one master seed.
+
+    Uses the repository's stable seed derivation (`sim.rng.derive_seed`),
+    so the same master seed yields the same sweep on any machine, any
+    worker count, any process launch method.
+    """
+    return [
+        derive_seed(master_seed, "sweep-case", index) & 0xFFFFFFFF
+        for index in range(count)
+    ]
+
+
 def run_case(
     case: Case,
     *,
@@ -52,6 +77,7 @@ def run_case(
     jitter: int = 0,
     observers: Iterable[Observer] = (),
     enforce_legality: bool = False,
+    fast_path: bool = True,
     max_rounds: Optional[int] = None,
     graph: Optional[KnowledgeGraph] = None,
 ) -> RunResult:
@@ -69,8 +95,17 @@ def run_case(
         jitter=jitter,
         observers=observers,
         enforce_legality=enforce_legality,
+        fast_path=fast_path,
         max_rounds=max_rounds,
         **dict(case.params),
+    )
+
+
+def _run_sweep_case(payload: Tuple[Case, bool, bool]) -> RunResult:
+    """Module-level worker body (must be picklable for spawn workers)."""
+    case, enforce_legality, fast_path = payload
+    return run_case(
+        case, enforce_legality=enforce_legality, fast_path=fast_path
     )
 
 
@@ -84,6 +119,9 @@ def sweep(
     params_by_algorithm: Optional[Mapping[str, Mapping[str, Any]]] = None,
     topology_params: Optional[Mapping[str, Any]] = None,
     size_caps: Optional[Mapping[str, int]] = None,
+    workers: Optional[int] = None,
+    enforce_legality: bool = False,
+    fast_path: bool = True,
 ) -> List[RunResult]:
     """Run a full (algorithm × size × seed) matrix on one topology.
 
@@ -91,30 +129,55 @@ def sweep(
     (e.g. classic swamping's pointer complexity is cubic; running it past
     n ≈ 512 buys no insight for minutes of wall clock).  Capped cells are
     simply absent from the result list; tables render them as ``-``.
+
+    ``workers`` > 1 distributes the cells over a process pool.  Each
+    worker rebuilds its cell's graph deterministically from the cell seed,
+    and the result list keeps case order, so the output is identical to a
+    serial sweep.
     """
     params_by_algorithm = params_by_algorithm or {}
-    results: List[RunResult] = []
+    cases: List[Case] = []
     for n in sizes:
-        # One graph per (size, seed), shared by all algorithms so that
-        # every algorithm sees the *same* inputs.
+        # One graph seed per (size, seed) cell, shared by all algorithms
+        # so that every algorithm sees the *same* inputs.
         for seed in seeds:
-            case_graph = make_topology(
-                topology, n, seed=seed, **(topology_params or {})
-            )
             for algorithm in algorithms:
                 cap = (size_caps or {}).get(algorithm)
                 if cap is not None and n > cap:
                     continue
-                case = Case(
-                    algorithm=algorithm,
-                    topology=topology,
-                    n=n,
-                    seed=seed,
-                    goal=goal,
-                    params=params_by_algorithm.get(algorithm, {}),
-                    topology_params=topology_params or {},
+                cases.append(
+                    Case(
+                        algorithm=algorithm,
+                        topology=topology,
+                        n=n,
+                        seed=seed,
+                        goal=goal,
+                        params=params_by_algorithm.get(algorithm, {}),
+                        topology_params=topology_params or {},
+                    )
                 )
-                results.append(run_case(case, graph=case_graph))
+
+    if workers is not None and workers > 1 and len(cases) > 1:
+        payloads = [(case, enforce_legality, fast_path) for case in cases]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_sweep_case, payloads))
+
+    results: List[RunResult] = []
+    graph_cache: Dict[Tuple[int, int], KnowledgeGraph] = {}
+    for case in cases:
+        key = (case.n, case.seed)
+        graph = graph_cache.get(key)
+        if graph is None:
+            graph = build_graph(case)
+            graph_cache[key] = graph
+        results.append(
+            run_case(
+                case,
+                graph=graph,
+                enforce_legality=enforce_legality,
+                fast_path=fast_path,
+            )
+        )
     return results
 
 

@@ -70,6 +70,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         goal=args.goal,
         fault_plan=fault_plan,
         observers=observers,
+        fast_path=not args.legacy_engine,
+        profile=args.profile,
         **params,
     )
     elapsed = time.perf_counter() - started
@@ -84,6 +86,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.dropped_messages:
         print(f"dropped   : {result.dropped_messages:,}")
     print(f"wall time : {elapsed:.2f}s")
+    if args.profile:
+        timings = result.extra.get("phase_timings", {})
+        total = sum(timings.values()) or 1.0
+        print("profile   : " + "  ".join(
+            f"{phase}={seconds * 1e3:.1f}ms ({seconds / total:.0%})"
+            for phase, seconds in timings.items()
+        ))
     if size_observer is not None:
         curve = curve_from_history(size_observer.history, n=args.n)
         print(f"converge  : {curve.sparkline()}")
@@ -127,7 +136,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .bench.store import save_results
 
     started = time.perf_counter()
-    results = sweep(args.algorithms, args.topology, args.sizes, args.seeds)
+    results = sweep(
+        args.algorithms,
+        args.topology,
+        args.sizes,
+        args.seeds,
+        workers=args.workers,
+    )
     elapsed = time.perf_counter() - started
     count = save_results(
         results,
@@ -137,6 +152,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "sizes": args.sizes,
             "seeds": args.seeds,
             "algorithms": args.algorithms,
+            "workers": args.workers,
         },
     )
     incomplete = sum(1 for result in results if not result.completed)
@@ -177,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the convergence sparkline and milestones",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase engine timings (protocol/dispatch/deliver/observers)",
+    )
+    run_parser.add_argument(
+        "--legacy-engine",
+        action="store_true",
+        help="run on the reference per-id engine path instead of the dense fast path",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     experiment_parser = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -197,6 +223,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--topology", default="kout", choices=sorted(TOPOLOGIES))
     sweep_parser.add_argument("--sizes", nargs="+", type=int, default=[64, 128, 256])
     sweep_parser.add_argument("--seeds", nargs="+", type=int, default=[11, 23, 37])
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the sweep out over N worker processes (results stay "
+        "deterministic and ordered)",
+    )
     sweep_parser.add_argument("--out", required=True, help="JSON results file")
     sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser

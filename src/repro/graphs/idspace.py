@@ -14,7 +14,7 @@ Tests run the full algorithm suite under both namespaces.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Iterable, Sequence, Tuple
 
 from ..sim.rng import derive_rng
 
@@ -41,3 +41,15 @@ def make_id_mapping(count: int, id_space: str, seed: int) -> Dict[int, int]:
 def densify(node_ids: Sequence[int]) -> Dict[int, int]:
     """Inverse helper: map arbitrary ids onto ``0..n-1`` preserving order."""
     return {node: index for index, node in enumerate(sorted(node_ids))}
+
+
+def dense_index(node_ids: Iterable[int]) -> Tuple[Tuple[int, ...], Dict[int, int]]:
+    """Sorted id tuple plus its id → dense-index inverse, in one pass.
+
+    The simulator's dense fast path needs both directions of the remap:
+    ``ordered[i]`` recovers the opaque id sitting at bit ``i`` of a
+    knowledge bitmask, and ``index[id]`` finds an id's bit.  Index ``i``
+    of the returned tuple always equals ``densify(node_ids)[ordered[i]]``.
+    """
+    ordered = tuple(sorted(node_ids))
+    return ordered, {node: index for index, node in enumerate(ordered)}

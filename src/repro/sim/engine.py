@@ -12,11 +12,55 @@ The engine keeps *ground-truth* knowledge sets independently of the
 protocol's own bookkeeping.  Ground truth drives the legality checks, the
 goal predicates, and — via observers — the lower-bound experiments, so a
 buggy or adversarial protocol cannot misreport its own progress.
+
+Two interchangeable execution paths are provided (selected by the
+``fast_path`` constructor flag and proven equivalent by the differential
+tests in ``tests/sim/test_fast_path_equivalence.py``):
+
+* the **legacy path** (``fast_path=False``, the default) walks every
+  carried pointer in interpreted per-id loops — simple, obviously
+  correct, and the reference implementation;
+* the **dense fast path** (``fast_path=True``) remaps the opaque machine
+  ids onto ``[0, n)`` (:func:`repro.graphs.idspace.dense_index`) and
+  represents each machine's ground-truth knowledge as an
+  arbitrary-precision integer bitmask.  The bitmasks carry all the
+  *counting* work — completion tracking via popcount, the weak-goal test
+  via a word-parallel running AND, alive-coverage deltas via masked
+  popcounts — replacing the legacy path's per-id counter maintenance.
+  Delivery-time learning is bounded by the **candidate mask**
+  ``(mask[sender] | sender_bit) & ~mask[recipient]``: for legal traffic
+  the carried ids are a subset of the sender's knowledge, so the
+  candidate mask upper-bounds what a delivery can teach.  A zero
+  candidate mask proves the message teaches nothing in a handful of word
+  operations; a small one is enumerated bit-by-bit and probed against the
+  message; only a large one falls back to a C-level set difference.
+  Complete recipients are skipped outright, and per-message metrics
+  collapse into one
+  :meth:`~repro.sim.metrics.MetricsCollector.record_batch` per round.
+
+The fast path keeps the ground-truth *sets* behind :attr:`knowledge` in
+one of two regimes.  With ``enforce_legality=True`` they are maintained
+eagerly (the legality guard needs them for its one-``issuperset``-probe
+per message).  With ``enforce_legality=False`` the bitmasks are the only
+eagerly-maintained truth and the sets are materialized lazily — first
+access after a round extracts just the newly-set bits — so a run that
+never reads :attr:`knowledge` (the common benchmark case) never pays for
+set maintenance at all.  Note the contract this rests on:
+``enforce_legality=False`` is a *promise* that the protocol is legal,
+not a license to cheat — an illegal protocol run without enforcement has
+undefined ground truth on either path (the legacy path happens to learn
+smuggled real ids; the fast path happens not to).  Run anything
+untrusted with the default ``enforce_legality=True``, where both paths
+raise identical :class:`ProtocolViolation`\\ s.
+
+See docs/PERF.md for the measured effect of each of these changes.
 """
 
 from __future__ import annotations
 
 import math
+from operator import attrgetter
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -27,14 +71,16 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
+from ..graphs.idspace import dense_index
 from .churn import JoinPlan
 from .errors import EngineStateError, ProtocolViolation, UnknownNodeError
 from .faults import FaultInjector, FaultPlan
-from .messages import Message
+from .messages import Message, tally_by_kind
 from .metrics import MetricsCollector, RunResult
 from .node import ProtocolNode
 from .observers import Observer
@@ -46,7 +92,18 @@ GoalPredicate = Callable[["SynchronousEngine"], bool]
 #: Named goal predicates selectable by string.
 GOALS = ("strong", "weak", "strong_alive")
 
+#: Phase keys reported by the ``profile=True`` timing hooks.
+PROFILE_PHASES = ("protocol", "dispatch", "deliver", "observers")
+
 _EMPTY_INBOX: Tuple[Message, ...] = ()
+
+#: C-level field extractor for the batched recipient-existence screen.
+_recipient_of = attrgetter("recipient")
+
+#: Largest n for which the fast path keeps a per-id power-of-two table
+#: (``{id: 1 << bit}``).  The table costs Θ(n²/8) bytes (32 MiB at the
+#: cutoff); beyond it, masks are assembled through a byte buffer instead.
+_POW2_TABLE_MAX_N = 1 << 14
 
 
 def default_max_rounds(n: int) -> int:
@@ -91,8 +148,13 @@ class SynchronousEngine:
             lockstep delivery (experiment T7).
         observers: Read-only observers notified per round.
         enforce_legality: Verify the ids of every message against the
-            sender's ground-truth knowledge.  Costs O(total pointers);
-            benchmarks may disable it, tests keep it on.
+            sender's ground-truth knowledge.  Costs O(total pointers) on
+            both paths; benchmarks may disable it, tests keep it on.
+        fast_path: Use the dense bitmask execution path (see the module
+            docstring).  Produces bit-identical :class:`RunResult`\\ s;
+            the differential test suite holds the two paths equal.
+        profile: Accumulate per-phase wall-clock timings (exposed as
+            :attr:`phase_timings` and ``RunResult.extra["phase_timings"]``).
         algorithm_name / params: Metadata copied into the result.
     """
 
@@ -108,11 +170,13 @@ class SynchronousEngine:
         jitter: int = 0,
         observers: Iterable[Observer] = (),
         enforce_legality: bool = True,
+        fast_path: bool = False,
+        profile: bool = False,
         algorithm_name: str = "custom",
         params: Optional[Mapping[str, Any]] = None,
     ) -> None:
         adjacency = _normalize_graph(graph)
-        self.node_ids: Tuple[int, ...] = tuple(sorted(adjacency))
+        self.node_ids, self._index = dense_index(adjacency)
         if not self.node_ids:
             raise ValueError("cannot simulate an empty graph")
         self.n = len(self.node_ids)
@@ -128,6 +192,9 @@ class SynchronousEngine:
         self.goal = goal
         self._goal_fn = self._resolve_goal(goal)
         self.enforce_legality = enforce_legality
+        self.fast_path = bool(fast_path)
+        self.profile = bool(profile)
+        self._phase_timings: Dict[str, float] = dict.fromkeys(PROFILE_PHASES, 0.0)
         self.algorithm_name = algorithm_name
         self.params: Dict[str, Any] = dict(params or {})
         self.metrics = MetricsCollector()
@@ -142,22 +209,22 @@ class SynchronousEngine:
         self.jitter = jitter
         self._delay_rng = derive_rng(seed, "delivery-jitter")
 
-        # Ground-truth knowledge and its derived counters.
-        self.knowledge: Dict[int, set[int]] = {}
-        self._known_by: Dict[int, int] = {node: 0 for node in self.node_ids}
+        # Ground-truth knowledge and its derived counters.  ``_ksets`` is
+        # the storage behind the public ``knowledge`` property; on the
+        # no-enforcement fast path it is synchronized lazily from the
+        # bitmasks (``_ksets_stale`` / ``_kcache_masks``).
+        self._ksets: Dict[int, Set[int]] = {}
+        self._ksets_stale = False
         self._complete_nodes = 0
-        self._alive: set[int] = set(self.node_ids)
-        self._alive_known: Dict[int, int] = {}
-        self._alive_complete = 0
+        self._alive: Set[int] = set(self.node_ids)
         for node in self.node_ids:
             initial = set(adjacency[node])
             initial.add(node)
-            self.knowledge[node] = initial
-            for target in initial:
-                self._known_by[target] += 1
-        for node in self.node_ids:
-            if len(self.knowledge[node]) == self.n:
-                self._complete_nodes += 1
+            self._ksets[node] = initial
+        if self.fast_path:
+            self._init_fast_state()
+        else:
+            self._init_legacy_state()
         self._rebuild_alive_counters()
 
         # Protocol nodes.
@@ -178,6 +245,124 @@ class SynchronousEngine:
         for observer in self.observers:
             observer.on_setup(self)
 
+    # -- state initialization -----------------------------------------------------
+
+    def _init_legacy_state(self) -> None:
+        self._known_by: Dict[int, int] = {node: 0 for node in self.node_ids}
+        for node in self.node_ids:
+            for target in self._ksets[node]:
+                self._known_by[target] += 1
+        for node in self.node_ids:
+            if len(self._ksets[node]) == self.n:
+                self._complete_nodes += 1
+
+    def _init_fast_state(self) -> None:
+        n = self.n
+        self._mask_nbytes = (n + 7) >> 3
+        self._full_mask = (1 << n) - 1
+        if n <= _POW2_TABLE_MAX_N:
+            self._pow2: Optional[Dict[int, int]] = {
+                node: 1 << bit for node, bit in self._index.items()
+            }
+        else:
+            self._pow2 = None
+        self._kmasks = [
+            self._mask_from_ids(self._ksets[node]) for node in self.node_ids
+        ]
+        self._ksizes = [mask.bit_count() for mask in self._kmasks]
+        self._complete_mask = 0
+        for idx, size in enumerate(self._ksizes):
+            if size == n:
+                self._complete_nodes += 1
+                self._complete_mask |= 1 << idx
+        if not self.enforce_legality:
+            # Mask-only regime: the sets are a lazily-synchronized cache.
+            self._kcache_masks = list(self._kmasks)
+
+    @property
+    def knowledge(self) -> Dict[int, Set[int]]:
+        """Ground-truth knowledge sets, keyed by machine id.
+
+        Always current when read.  On the no-enforcement fast path the
+        round loop maintains only the bitmasks; this accessor extracts
+        the bits set since the last access before handing the dict out.
+        """
+        if self._ksets_stale:
+            self._sync_knowledge_sets()
+        return self._ksets
+
+    def _sync_knowledge_sets(self) -> None:
+        """Fold mask growth since the last sync back into the sets.
+
+        Monotonicity makes this cheap: knowledge only ever grows, so each
+        node costs one integer comparison plus one ``set.add`` per
+        *newly*-set bit — O(total learning) over a whole run no matter
+        how often it is called.
+        """
+        node_ids = self.node_ids
+        kmasks = self._kmasks
+        cache = self._kcache_masks
+        ksets = self._ksets
+        for idx, mask in enumerate(kmasks):
+            fresh = mask & ~cache[idx]
+            if fresh:
+                known = ksets[node_ids[idx]]
+                while fresh:
+                    low = fresh & -fresh
+                    known.add(node_ids[low.bit_length() - 1])
+                    fresh ^= low
+                cache[idx] = mask
+        self._ksets_stale = False
+
+    @property
+    def phase_timings(self) -> Dict[str, float]:
+        """Accumulated per-phase seconds (all zero unless ``profile=True``)."""
+        return dict(self._phase_timings)
+
+    def _mask_from_ids(self, ids: Collection[int]) -> int:
+        """Translate a duplicate-free collection of real machine ids into
+        a dense bitmask.
+
+        Only ever called on clean inputs (initial adjacencies, freshly
+        computed new-knowledge sets, the alive set), so no stray filtering
+        is needed.  With the power-of-two table the translation runs
+        entirely in C loops (the ids are distinct, so summing their
+        distinct powers of two equals a bitwise OR); past the table's
+        memory cutoff a byte buffer is filled instead.
+        """
+        pow2 = self._pow2
+        if pow2 is not None:
+            return sum(map(pow2.__getitem__, ids))
+        index = self._index
+        buf = bytearray(self._mask_nbytes)
+        for target in ids:
+            bit = index[target]
+            buf[bit >> 3] |= 1 << (bit & 7)
+        return int.from_bytes(buf, "little")
+
+    def _mask_from_message_ids(self, ids: Collection[int]) -> int:
+        """Translate protocol-supplied message ids into a dense bitmask.
+
+        Unlike :meth:`_mask_from_ids` this tolerates dirty input —
+        duplicate entries (deduplicated through a set) and, with legality
+        enforcement off, ids naming no simulated machine (silently
+        skipped, mirroring the legacy learning rule for strays)."""
+        if not isinstance(ids, (set, frozenset)):
+            ids = set(ids)
+        pow2 = self._pow2
+        if pow2 is not None:
+            try:
+                return sum(map(pow2.__getitem__, ids))
+            except KeyError:
+                return sum(pow2[target] for target in ids if target in pow2)
+        index = self._index
+        buf = bytearray(self._mask_nbytes)
+        for target in ids:
+            bit = index.get(target)
+            if bit is not None:
+                buf[bit >> 3] |= 1 << (bit & 7)
+        return int.from_bytes(buf, "little")
+
     # -- goal predicates ----------------------------------------------------------
 
     def _resolve_goal(self, goal: Union[str, GoalPredicate]) -> GoalPredicate:
@@ -186,30 +371,44 @@ class SynchronousEngine:
         if goal == "strong":
             return lambda engine: engine._complete_nodes == engine.n
         if goal == "weak":
-            return type(self)._weak_goal
+            return lambda engine: engine.weak_leader() is not None
         if goal == "strong_alive":
             return lambda engine: engine._alive_complete == len(engine._alive)
         raise ValueError(f"unknown goal {goal!r}; expected one of {GOALS} or a callable")
 
-    def _weak_goal(self) -> bool:
-        if self._complete_nodes == 0:
-            return False
-        for node in self.node_ids:
-            if len(self.knowledge[node]) == self.n and self._known_by[node] == self.n:
-                return True
-        return False
-
     def weak_leader(self) -> Optional[int]:
-        """The first node satisfying the weak-discovery condition, if any."""
+        """The first node satisfying the weak-discovery condition, if any.
+
+        Weak discovery needs a node that knows everyone *and* is known by
+        everyone.  Any such node is strongly complete, so the scan is
+        skipped outright while the incremental complete-node counter is
+        zero — which is every round until the very end of a run.
+        """
+        if self._complete_nodes == 0:
+            return None
+        if self.fast_path:
+            # Bit j survives the AND of all knowledge masks iff everyone
+            # knows machine j; intersecting with the complete-node mask
+            # and taking the lowest surviving bit yields the first
+            # qualifying node in sorted-id order.
+            common = self._complete_mask
+            for mask in self._kmasks:
+                common &= mask
+                if not common:
+                    return None
+            return self.node_ids[(common & -common).bit_length() - 1]
+        n = self.n
+        known_by = self._known_by
         for node in self.node_ids:
-            if len(self.knowledge[node]) == self.n and self._known_by[node] == self.n:
+            if len(self._ksets[node]) == n and known_by[node] == n:
                 return node
         return None
 
-    # -- knowledge bookkeeping ------------------------------------------------------
+    # -- knowledge bookkeeping -----------------------------------------------------
 
     def _learn(self, node: int, new_ids: Iterable[int]) -> None:
-        knowledge = self.knowledge[node]
+        """Legacy-path learning rule (per-id reference implementation)."""
+        knowledge = self._ksets[node]
         before = len(knowledge)
         alive = self._alive
         alive_gain = 0
@@ -233,16 +432,50 @@ class SynchronousEngine:
             if count == len(alive):
                 self._alive_complete += 1
 
+    def _apply_mask(self, recipient: int, idx: int, add: int) -> None:
+        """Fast-path learning core: fold a non-zero mask of genuinely new
+        machines into a recipient's bitmask and maintain every derived
+        counter with word-parallel operations (OR, popcount deltas)."""
+        old = self._kmasks[idx]
+        new = old | add
+        self._kmasks[idx] = new
+        size = new.bit_count()
+        old_size = self._ksizes[idx]
+        self._ksizes[idx] = size
+        if size == self.n and old_size < self.n:
+            self._complete_nodes += 1
+            self._complete_mask |= 1 << idx
+        if recipient in self._alive:
+            if self._alive_mask == self._full_mask:
+                alive_gain = size - old_size
+            else:
+                alive_gain = (add & ~old & self._alive_mask).bit_count()
+            if alive_gain:
+                count = self._alive_known[recipient] + alive_gain
+                self._alive_known[recipient] = count
+                if count == len(self._alive):
+                    self._alive_complete += 1
+
     def _rebuild_alive_counters(self) -> None:
         alive = self._alive
-        self._alive_known = {
-            node: len(self.knowledge[node] & alive) for node in alive
-        }
+        if self.fast_path:
+            alive_mask = self._mask_from_ids(alive)
+            self._alive_mask = alive_mask
+            kmasks = self._kmasks
+            index = self._index
+            self._alive_known = {
+                node: (kmasks[index[node]] & alive_mask).bit_count() for node in alive
+            }
+        else:
+            self._alive_known = {
+                node: len(self._ksets[node] & alive) for node in alive
+            }
+        target = len(alive)
         self._alive_complete = sum(
-            1 for node in alive if self._alive_known[node] == len(alive)
+            1 for count in self._alive_known.values() if count == target
         )
 
-    # -- execution -------------------------------------------------------------------
+    # -- execution -----------------------------------------------------------------
 
     def run(self, max_rounds: Optional[int] = None) -> RunResult:
         """Execute rounds until the goal holds or the cap is reached."""
@@ -270,6 +503,24 @@ class SynchronousEngine:
                 self._inboxes.pop(node, None)
             self._rebuild_alive_counters()
 
+        if self.fast_path:
+            self._step_fast()
+        else:
+            self._step_legacy()
+
+        self.metrics.close_round(self.round_no)
+        if self.observers:
+            started = perf_counter() if self.profile else 0.0
+            for observer in self.observers:
+                observer.on_round_end(self, self.round_no)
+            if self.profile:
+                self._phase_timings["observers"] += perf_counter() - started
+
+    def _step_legacy(self) -> None:
+        """Reference round body: per-id loops, per-message metrics."""
+        profile = self.profile
+        tick = perf_counter() if profile else 0.0
+
         sends: List[Message] = []
         for node in self.node_ids:
             if self._faults.is_crashed(node):
@@ -285,6 +536,11 @@ class SynchronousEngine:
                     self._check_legality(node, outbox)
                 sends.extend(outbox)
 
+        if profile:
+            now = perf_counter()
+            self._phase_timings["protocol"] += now - tick
+            tick = now
+
         for message in sends:
             if message.recipient not in self._id_set:
                 raise UnknownNodeError(
@@ -299,6 +555,11 @@ class SynchronousEngine:
             else:
                 delay = 1
             self._future.setdefault(self.round_no + delay, []).append(message)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["dispatch"] += now - tick
+            tick = now
 
         # Deliver everything scheduled for the start of the next round.
         # Crash and dormancy are re-checked at delivery time: a machine
@@ -319,12 +580,205 @@ class SynchronousEngine:
             self.nodes[recipient].absorb(message)
         self._inboxes = next_inboxes
 
-        self.metrics.close_round(self.round_no)
-        for observer in self.observers:
-            observer.on_round_end(self, self.round_no)
+        if profile:
+            self._phase_timings["deliver"] += perf_counter() - tick
+
+    def _step_fast(self) -> None:
+        """Dense round body: bulk set operations, mask-mirrored counters,
+        completion short-circuits, and batched accounting."""
+        profile = self.profile
+        tick = perf_counter() if profile else 0.0
+        round_no = self.round_no
+        enforce = self.enforce_legality
+
+        crashed = self._faults.crashed_map
+        joins = self._joins if self._joins.join_rounds else None
+        inboxes = self._inboxes
+        nodes = self.nodes
+        sends: List[Message] = []
+        for node, protocol in nodes.items():
+            if crashed and node in crashed:
+                continue
+            if joins is not None and joins.is_dormant(node, round_no):
+                continue
+            inbox = inboxes.pop(node, _EMPTY_INBOX)
+            protocol.run_round(round_no, inbox)
+            outbox = protocol.drain_outbox()
+            if outbox:
+                if enforce:
+                    self._check_legality_fast(node, outbox)
+                sends.extend(outbox)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["protocol"] += now - tick
+            tick = now
+
+        next_round = round_no + 1
+        if sends:
+            messages_by_kind, pointers_by_kind = tally_by_kind(sends)
+            dropped = 0
+            faults = self._faults if self._faults.plan.has_faults else None
+            id_set = self._id_set
+            jitter = self.jitter
+            future = self._future
+            if faults is None and not jitter:
+                # Fault-free lockstep (the overwhelmingly common case):
+                # the whole round's outbox becomes next round's delivery
+                # bucket wholesale.  Legality enforcement already proved
+                # every recipient real; without it, one C-level superset
+                # probe screens the batch and the per-message loop re-runs
+                # only to raise the exact legacy error.
+                if not enforce and not id_set.issuperset(
+                    map(_recipient_of, sends)
+                ):
+                    for message in sends:
+                        if message.recipient not in id_set:
+                            raise UnknownNodeError(
+                                f"node {message.sender} messaged "
+                                f"non-existent node {message.recipient}"
+                            )
+                bucket = future.get(next_round)
+                if bucket is None:
+                    future[next_round] = sends
+                else:
+                    bucket.extend(sends)
+            else:
+                delay_rng = self._delay_rng
+                for message in sends:
+                    recipient = message.recipient
+                    # With legality enforcement on, the recipient is
+                    # already known to be a real machine (it appears in
+                    # the sender's ground truth, which only ever holds
+                    # real ids).
+                    if not enforce and recipient not in id_set:
+                        raise UnknownNodeError(
+                            f"node {message.sender} messaged non-existent node {recipient}"
+                        )
+                    if faults is not None and faults.should_drop(
+                        message.sender, recipient
+                    ):
+                        dropped += 1
+                        continue
+                    if jitter:
+                        deliver_at = next_round + delay_rng.randrange(jitter + 1)
+                    else:
+                        deliver_at = next_round
+                    bucket = future.get(deliver_at)
+                    if bucket is None:
+                        future[deliver_at] = [message]
+                    else:
+                        bucket.append(message)
+            self.metrics.record_batch(messages_by_kind, pointers_by_kind, dropped)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["dispatch"] += now - tick
+            tick = now
+
+        next_inboxes: Dict[int, List[Message]] = {}
+        pending = self._future.pop(next_round, None)
+        if pending:
+            index = self._index
+            kmasks = self._kmasks
+            node_ids = self.node_ids
+            pow2 = self._pow2
+            full = self._full_mask
+            ksets = self._ksets if enforce else None
+            metrics = self.metrics
+            learned = False
+            for message in pending:
+                recipient = message.recipient
+                if (crashed and recipient in crashed) or (
+                    joins is not None and joins.is_dormant(recipient, next_round)
+                ):
+                    metrics.record_in_flight_loss()
+                    continue
+                bucket = next_inboxes.get(recipient)
+                if bucket is None:
+                    next_inboxes[recipient] = [message]
+                else:
+                    bucket.append(message)
+                # Learn, bounded by the candidate mask: everything this
+                # delivery could teach is something the sender knows (it
+                # is the sender, or legally carried) that the recipient
+                # does not.  Knowledge is monotone, so the sender's
+                # *current* mask still upper-bounds ids it sent earlier
+                # (jitter) or before crashing.
+                ri = index[recipient]
+                kmr = kmasks[ri]
+                if kmr != full:
+                    sender = message.sender
+                    si = index[sender]
+                    sbit = pow2[sender] if pow2 is not None else 1 << si
+                    cand = (kmasks[si] | sbit) & ~kmr
+                    if cand:
+                        ids = message.ids
+                        setlike = isinstance(ids, (set, frozenset))
+                        add = cand & sbit  # the sender itself is always learned
+                        if setlike and cand.bit_count() * 4 <= len(ids):
+                            # Few candidates, big message: enumerate the
+                            # candidate bits and probe them against the
+                            # message instead of scanning every pointer.
+                            m = cand ^ add
+                            if ksets is None:
+                                while m:
+                                    low = m & -m
+                                    if node_ids[low.bit_length() - 1] in ids:
+                                        add |= low
+                                    m ^= low
+                                if add:
+                                    self._apply_mask(recipient, ri, add)
+                                    learned = True
+                            else:
+                                fresh = [sender] if add else []
+                                while m:
+                                    low = m & -m
+                                    nid = node_ids[low.bit_length() - 1]
+                                    if nid in ids:
+                                        add |= low
+                                        fresh.append(nid)
+                                    m ^= low
+                                if add:
+                                    ksets[recipient].update(fresh)
+                                    self._apply_mask(recipient, ri, add)
+                        elif ksets is None:
+                            # Mask-only regime: translate the message once
+                            # and intersect with the candidates.
+                            add |= self._mask_from_message_ids(ids) & cand
+                            if add:
+                                self._apply_mask(recipient, ri, add)
+                                learned = True
+                        else:
+                            # Sets are maintained eagerly (legality mode):
+                            # one C-level difference yields the new ids.
+                            known = ksets[recipient]
+                            if setlike:
+                                new_ids = ids - known
+                            else:
+                                new_ids = set(ids)
+                                new_ids.difference_update(known)
+                            if add:
+                                # The difference of two frozensets is frozen.
+                                if isinstance(new_ids, frozenset):
+                                    new_ids = set(new_ids)
+                                new_ids.add(sender)
+                            if new_ids:
+                                known |= new_ids
+                                self._apply_mask(
+                                    recipient, ri, self._mask_from_ids(new_ids)
+                                )
+                nodes[recipient].absorb(message)
+            if learned:
+                self._ksets_stale = True
+        self._inboxes = next_inboxes
+
+        if profile:
+            self._phase_timings["deliver"] += perf_counter() - tick
 
     def _check_legality(self, node: int, outbox: Sequence[Message]) -> None:
-        knowledge = self.knowledge[node]
+        """Reference legality scan; raises on the first violation."""
+        knowledge = self._ksets[node]
         for message in outbox:
             if message.recipient not in knowledge:
                 raise ProtocolViolation(
@@ -338,7 +792,24 @@ class SynchronousEngine:
                         f"{message.kind!r} message carries unknown id {target}",
                     )
 
-    # -- results ------------------------------------------------------------------------
+    def _check_legality_fast(self, node: int, outbox: Sequence[Message]) -> None:
+        """Whole-outbox legality guard for the fast path.
+
+        Each message is validated with one C-level superset probe against
+        the sender's ground truth instead of an interpreted per-id loop.
+        On any suspected violation the reference scan re-runs to raise
+        the exact legacy :class:`ProtocolViolation`.
+        """
+        known = self._ksets[node]
+        for message in outbox:
+            if message.recipient not in known or not known.issuperset(message.ids):
+                self._check_legality(node, outbox)
+                raise EngineStateError(  # pragma: no cover - defensive
+                    f"legality fast path flagged node {node} but the "
+                    "reference scan found no violation"
+                )
+
+    # -- results -------------------------------------------------------------------
 
     @property
     def alive_nodes(self) -> frozenset[int]:
@@ -355,6 +826,8 @@ class SynchronousEngine:
         extra: Dict[str, Any] = {}
         for observer in self.observers:
             extra.update(observer.extra())
+        if self.profile:
+            extra["phase_timings"] = dict(self._phase_timings)
         return RunResult(
             algorithm=self.algorithm_name,
             n=self.n,

@@ -73,6 +73,15 @@ class FaultInjector:
         return node in self._crashed
 
     @property
+    def crashed_map(self) -> Dict[int, int]:
+        """The live node → crash-round mapping (shared; treat as read-only).
+
+        Unlike :attr:`crashed_nodes` this does not copy, so hot loops can
+        test emptiness and membership without per-round allocation.
+        """
+        return self._crashed
+
+    @property
     def crashed_nodes(self) -> frozenset[int]:
         return frozenset(self._crashed)
 

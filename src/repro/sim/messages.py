@@ -17,7 +17,7 @@ model in DESIGN.md section 1:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Collection
+from typing import Any, Collection, Dict, Iterable, Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +54,28 @@ class Message:
 # Number of header words charged per message when converting to bits:
 # kind tag, sender, recipient, and the O(1) data payload.
 MESSAGE_HEADER_WORDS = 4
+
+
+def tally_by_kind(
+    messages: Iterable[Message],
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """One-pass per-kind message and pointer tallies for batch accounting.
+
+    Mirrors the accounting of per-message ``record_send`` calls exactly:
+    every message creates an entry in *both* tallies (a message carrying
+    zero pointers still appears in the pointer tally with count 0), so
+    feeding the result to :meth:`MetricsCollector.record_batch` yields
+    counters identical to the per-message path.
+    """
+    messages_by_kind: Dict[str, int] = {}
+    pointers_by_kind: Dict[str, int] = {}
+    mget = messages_by_kind.get
+    pget = pointers_by_kind.get
+    for message in messages:
+        kind = message.kind
+        messages_by_kind[kind] = mget(kind, 0) + 1
+        pointers_by_kind[kind] = pget(kind, 0) + len(message.ids)
+    return messages_by_kind, pointers_by_kind
 
 
 def message_bits(message: Message, id_bits: int) -> int:

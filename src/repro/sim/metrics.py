@@ -57,6 +57,33 @@ class MetricsCollector:
             self.total_dropped += 1
             self._round_dropped += 1
 
+    def record_batch(
+        self,
+        messages_by_kind: Mapping[str, int],
+        pointers_by_kind: Mapping[str, int],
+        dropped: int = 0,
+    ) -> None:
+        """Charge a whole round's sends in one call.
+
+        The fast-path engine tallies its outboxes per kind (see
+        :func:`repro.sim.messages.tally_by_kind`) and records them here,
+        replacing one :meth:`record_send` call per message with one call
+        per round.  The resulting counters are identical: ``Counter.update``
+        adds counts, and kinds present with a zero pointer tally still
+        materialize their key, exactly as ``record_send`` does.
+        """
+        messages = sum(messages_by_kind.values())
+        pointers = sum(pointers_by_kind.values())
+        self.total_messages += messages
+        self.total_pointers += pointers
+        self.messages_by_kind.update(messages_by_kind)
+        self.pointers_by_kind.update(pointers_by_kind)
+        self._round_messages += messages
+        self._round_pointers += pointers
+        if dropped:
+            self.total_dropped += dropped
+            self._round_dropped += dropped
+
     def record_in_flight_loss(self) -> None:
         """Charge a drop for a message lost after sending (recipient
         crashed or still dormant at delivery time).  The send itself was

@@ -76,3 +76,34 @@ class TestSweep:
         indexed = index_results(results)
         assert set(indexed) == {("sublog", 16)}
         assert len(indexed[("sublog", 16)]) == 2
+
+
+class TestSweepSeeds:
+    def test_deterministic_and_distinct(self):
+        from repro.bench.runner import sweep_seeds
+
+        seeds_a = sweep_seeds(7, 8)
+        seeds_b = sweep_seeds(7, 8)
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == 8
+        assert all(0 <= seed < 2**32 for seed in seeds_a)
+        assert sweep_seeds(8, 8) != seeds_a
+
+
+class TestParallelSweep:
+    def test_workers_match_serial_results(self):
+        serial = sweep(["sublog", "namedropper"], "kout", [16, 24], [1, 2])
+        parallel = sweep(
+            ["sublog", "namedropper"], "kout", [16, 24], [1, 2], workers=2
+        )
+        assert parallel == serial
+
+    def test_single_worker_stays_serial(self):
+        assert sweep(["flooding"], "kout", [16], [1], workers=1) == sweep(
+            ["flooding"], "kout", [16], [1]
+        )
+
+    def test_legacy_engine_sweep_matches_fast(self):
+        fast = sweep(["namedropper"], "kout", [20], [3, 4])
+        legacy = sweep(["namedropper"], "kout", [20], [3, 4], fast_path=False)
+        assert fast == legacy

@@ -1,0 +1,235 @@
+"""Differential tests: the dense fast path must be bit-identical to the
+legacy engine path.
+
+The fast path (``SynchronousEngine(fast_path=True)``) reimplements the
+round loop with dense-index bitmasks, candidate-mask learning, batched
+metrics, and completion short-circuits.  Its only correctness argument is
+this suite: every registry algorithm, across topologies, id namespaces,
+goals, jitter, faults, and churn, must produce *exactly* the same
+:class:`RunResult` — including per-kind counters and the per-round stats
+trajectory — and the same ground-truth knowledge and weak leader.
+
+One caveat is deliberate: with ``enforce_legality=False`` equivalence is
+promised only for *legal* traffic (the documented contract of disabling
+the check).  Illegal traffic is exercised with enforcement **on**, where
+both paths must raise the identical :class:`ProtocolViolation`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import algorithm_names, get_algorithm
+from repro.graphs import make_topology
+from repro.sim import SynchronousEngine
+from repro.sim.churn import JoinPlan
+from repro.sim.errors import ProtocolViolation, UnknownNodeError
+from repro.sim.faults import FaultPlan, crash_fraction_plan
+from repro.sim.node import ProtocolNode
+
+from ..strategies import weakly_connected_graphs
+
+TOPOLOGY_ARGS = {
+    "kout": {"k": 3},
+    "gnp": {"p": 0.25},
+}
+
+
+def _both_paths(graph, algorithm, *, seed, enforce, goal="strong", jitter=0,
+                fault_plan=None, join_plan=None):
+    """Run one configuration on both paths; return (legacy, fast) engines
+    and results."""
+    outcome = []
+    for fast in (False, True):
+        spec = get_algorithm(algorithm)
+        engine = SynchronousEngine(
+            graph,
+            spec.node_factory(),
+            seed=seed,
+            goal=goal,
+            jitter=jitter,
+            fault_plan=fault_plan,
+            join_plan=join_plan,
+            enforce_legality=enforce,
+            fast_path=fast,
+            algorithm_name=algorithm,
+        )
+        outcome.append((engine, engine.run(spec.round_cap(engine.n))))
+    return outcome
+
+
+def _assert_identical(legacy, fast):
+    (engine_l, result_l), (engine_f, result_f) = legacy, fast
+    assert result_l == result_f
+    assert dict(engine_l.knowledge) == dict(engine_f.knowledge)
+    assert engine_l.weak_leader() == engine_f.weak_leader()
+    assert engine_l.alive_nodes == engine_f.alive_nodes
+    assert engine_l.is_strongly_complete() == engine_f.is_strongly_complete()
+
+
+@pytest.mark.parametrize("algorithm", algorithm_names())
+@pytest.mark.parametrize("topology,id_space", [("kout", "dense"), ("path", "random")])
+@pytest.mark.parametrize("enforce", [True, False])
+def test_all_algorithms_match(algorithm, topology, id_space, enforce):
+    graph = make_topology(
+        topology, 20, seed=9, id_space=id_space, **TOPOLOGY_ARGS.get(topology, {})
+    )
+    legacy, fast = _both_paths(graph, algorithm, seed=42, enforce=enforce)
+    _assert_identical(legacy, fast)
+
+
+@pytest.mark.parametrize("jitter", [1, 3])
+@pytest.mark.parametrize("enforce", [True, False])
+def test_jitter_match(jitter, enforce):
+    graph = make_topology("kout", 18, seed=4, k=3)
+    legacy, fast = _both_paths(
+        graph, "namedropper", seed=7, enforce=enforce, jitter=jitter
+    )
+    _assert_identical(legacy, fast)
+
+
+@pytest.mark.parametrize("algorithm", ["namedropper", "sublog", "flooding"])
+@pytest.mark.parametrize("enforce", [True, False])
+def test_faults_and_churn_match(algorithm, enforce):
+    graph = make_topology("kout", 24, seed=5, k=3)
+    loss = FaultPlan(loss_rate=0.15, seed=3)
+    crashes = crash_fraction_plan(graph.node_ids, 0.2, 3, seed=7)
+    joins = JoinPlan(join_rounds={node: 4 for node in sorted(graph.node_ids)[:5]})
+    for fault_plan, join_plan, goal, jitter in [
+        (loss, None, "strong_alive", 1),
+        (crashes, None, "strong_alive", 0),
+        (None, joins, "weak", 0),
+    ]:
+        legacy, fast = _both_paths(
+            graph,
+            algorithm,
+            seed=42,
+            enforce=enforce,
+            goal=goal,
+            jitter=jitter,
+            fault_plan=fault_plan,
+            join_plan=join_plan,
+        )
+        _assert_identical(legacy, fast)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    graph=weakly_connected_graphs(max_nodes=14),
+    algorithm=st.sampled_from(algorithm_names()),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    enforce=st.booleans(),
+    jitter=st.integers(min_value=0, max_value=2),
+    loss=st.sampled_from([0.0, 0.2]),
+)
+def test_property_differential(graph, algorithm, seed, enforce, jitter, loss):
+    fault_plan = FaultPlan(loss_rate=loss, seed=seed % 97) if loss else None
+    legacy, fast = _both_paths(
+        graph,
+        algorithm,
+        seed=seed,
+        enforce=enforce,
+        jitter=jitter,
+        fault_plan=fault_plan,
+    )
+    _assert_identical(legacy, fast)
+
+
+class _UnknownIdNode(ProtocolNode):
+    """Carries an unlearned id in round 2 (a model violation)."""
+
+    def on_round(self, round_no, inbox):
+        from repro.sim.messages import Message
+
+        if round_no == 2:
+            peer = min(self.known - {self.node_id})
+            self._outbox.append(
+                Message(
+                    kind="cheat",
+                    sender=self.node_id,
+                    recipient=peer,
+                    ids=frozenset({987654321}),
+                )
+            )
+
+
+class _UnknownRecipientNode(ProtocolNode):
+    """Messages a machine that does not exist."""
+
+    def on_round(self, round_no, inbox):
+        from repro.sim.messages import Message
+
+        if round_no == 1 and self.node_id == min(self.known):
+            self._outbox.append(
+                Message(kind="ghost", sender=self.node_id, recipient=987654321)
+            )
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_protocol_violation_identical(fast):
+    graph = {0: {1}, 1: {0}, 2: {0, 1}}
+    engine = SynchronousEngine(
+        graph, _UnknownIdNode, seed=1, enforce_legality=True, fast_path=fast
+    )
+    with pytest.raises(ProtocolViolation) as excinfo:
+        for _ in range(4):
+            engine.step()
+    assert "carries unknown id 987654321" in str(excinfo.value)
+
+
+def test_protocol_violation_messages_match_across_paths():
+    graph = {0: {1}, 1: {0}, 2: {0, 1}}
+    errors = []
+    for fast in (False, True):
+        engine = SynchronousEngine(
+            graph, _UnknownIdNode, seed=1, enforce_legality=True, fast_path=fast
+        )
+        with pytest.raises(ProtocolViolation) as excinfo:
+            for _ in range(4):
+                engine.step()
+        errors.append(str(excinfo.value))
+    assert errors[0] == errors[1]
+
+
+@pytest.mark.parametrize("enforce", [True, False])
+@pytest.mark.parametrize("fast", [False, True])
+def test_unknown_recipient_raises_on_both_paths(enforce, fast):
+    graph = {0: {1}, 1: {0}}
+    engine = SynchronousEngine(
+        graph,
+        _UnknownRecipientNode,
+        seed=1,
+        enforce_legality=enforce,
+        fast_path=fast,
+    )
+    expected = ProtocolViolation if enforce else UnknownNodeError
+    with pytest.raises(expected):
+        for _ in range(3):
+            engine.step()
+
+
+def test_knowledge_property_is_lazy_but_current():
+    """On the no-enforcement fast path the sets are materialized on
+    demand — and must always reflect the bitmask state when read."""
+    graph = make_topology("kout", 16, seed=2, k=3)
+    spec = get_algorithm("namedropper")
+    engine = SynchronousEngine(
+        graph,
+        spec.node_factory(),
+        seed=5,
+        enforce_legality=False,
+        fast_path=True,
+    )
+    reference = SynchronousEngine(
+        graph, spec.node_factory(), seed=5, enforce_legality=False, fast_path=False
+    )
+    for _ in range(4):
+        engine.step()
+        reference.step()
+        assert dict(engine.knowledge) == dict(reference.knowledge)

@@ -45,3 +45,31 @@ class TestMessageBits:
     def test_empty_message_still_costs_header(self):
         message = Message(kind="x", sender=1, recipient=2)
         assert message_bits(message, id_bits=8) == MESSAGE_HEADER_WORDS * 8
+
+
+class TestTallyByKind:
+    def test_tallies_match_per_message_accounting(self):
+        from repro.sim.messages import tally_by_kind
+
+        sends = [
+            Message(kind="invite", sender=1, recipient=2, ids=(3, 4)),
+            Message(kind="invite", sender=2, recipient=1),
+            Message(kind="report", sender=1, recipient=2, ids=(5,)),
+        ]
+        messages_by_kind, pointers_by_kind = tally_by_kind(sends)
+        assert messages_by_kind == {"invite": 2, "report": 1}
+        assert pointers_by_kind == {"invite": 2, "report": 1}
+
+    def test_zero_pointer_kind_appears_in_both_tallies(self):
+        from repro.sim.messages import tally_by_kind
+
+        messages_by_kind, pointers_by_kind = tally_by_kind(
+            [Message(kind="ping", sender=1, recipient=2)]
+        )
+        assert messages_by_kind == {"ping": 1}
+        assert pointers_by_kind == {"ping": 0}
+
+    def test_empty_input(self):
+        from repro.sim.messages import tally_by_kind
+
+        assert tally_by_kind([]) == ({}, {})

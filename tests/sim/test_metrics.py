@@ -83,3 +83,37 @@ class TestRunResult:
         assert summary["algorithm"] == "test"
         assert summary["rounds"] == 5
         assert "bits" in summary
+
+
+class TestRecordBatch:
+    def test_batch_matches_per_message_recording(self):
+        batch = MetricsCollector()
+        serial = MetricsCollector()
+        sends = [
+            _msg(kind="invite", ids=(1, 2, 3)),
+            _msg(kind="invite", ids=()),
+            _msg(kind="report", ids=(4,)),
+        ]
+        for message in sends:
+            serial.record_send(message)
+        batch.record_batch(
+            {"invite": 2, "report": 1}, {"invite": 3, "report": 1}
+        )
+        assert batch.total_messages == serial.total_messages == 3
+        assert batch.total_pointers == serial.total_pointers == 4
+        assert batch.messages_by_kind == serial.messages_by_kind
+        assert batch.pointers_by_kind == serial.pointers_by_kind
+        assert batch.close_round(1) == serial.close_round(1)
+
+    def test_batch_charges_drops(self):
+        collector = MetricsCollector()
+        collector.record_batch({"x": 5}, {"x": 10}, dropped=2)
+        stats = collector.close_round(1)
+        assert stats.dropped_messages == 2
+        assert stats.delivered_messages == 3
+        assert collector.total_dropped == 2
+
+    def test_zero_pointer_kind_still_materializes(self):
+        collector = MetricsCollector()
+        collector.record_batch({"ping": 1}, {"ping": 0})
+        assert collector.pointers_by_kind["ping"] == 0
