@@ -30,11 +30,18 @@ from .graphs import (
     random_k_out,
 )
 from .sim import (
+    DELIVERY_MODELS,
+    AdversarialScheduler,
+    BoundedJitter,
+    DeliveryModel,
     FaultPlan,
     JoinPlan,
     KnowledgeSizeObserver,
+    Lockstep,
     Message,
     Observer,
+    PartitionWindow,
+    PerLinkLatency,
     ProtocolNode,
     ProtocolViolation,
     RunResult,
@@ -42,21 +49,29 @@ from .sim import (
     TraceObserver,
     crash_fraction_plan,
     late_join_workload,
+    parse_delivery,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "DELIVERY_MODELS",
     "ID_SPACES",
     "TOPOLOGIES",
+    "AdversarialScheduler",
+    "BoundedJitter",
     "ClusterSizeObserver",
+    "DeliveryModel",
     "FaultPlan",
     "JoinPlan",
     "KnowledgeGraph",
     "KnowledgeSizeObserver",
+    "Lockstep",
     "Message",
     "Observer",
+    "PartitionWindow",
+    "PerLinkLatency",
     "ProtocolNode",
     "ProtocolViolation",
     "RunResult",
@@ -71,6 +86,7 @@ __all__ = [
     "get_algorithm",
     "late_join_workload",
     "make_topology",
+    "parse_delivery",
     "path",
     "preferential_attachment",
     "random_k_out",
@@ -86,6 +102,7 @@ def discover(
     fault_plan: Optional[FaultPlan] = None,
     join_plan: Optional[JoinPlan] = None,
     jitter: int = 0,
+    delivery: Optional[Union[str, DeliveryModel]] = None,
     observers: Iterable[Observer] = (),
     max_rounds: Optional[int] = None,
     enforce_legality: bool = True,
@@ -105,7 +122,14 @@ def discover(
         join_plan: Optional dynamic-join plan (machines dormant until
             their join round — see :mod:`repro.sim.churn`).
         jitter: Bounded-asynchrony knob: messages take 1 .. 1 + jitter
-            rounds to arrive (0 = classic synchronous delivery).
+            rounds to arrive (0 = classic synchronous delivery).  Alias
+            for ``delivery=BoundedJitter(jitter)``.
+        delivery: Delivery model — a
+            :class:`repro.sim.transport.DeliveryModel` or a spec string
+            such as ``"jitter:2"``, ``"adversarial:3"``, ``"perlink:2"``,
+            or ``"partition:4-8"`` (see
+            :func:`repro.sim.transport.parse_delivery`).  Mutually
+            exclusive with ``jitter``.
         observers: Read-only run observers.
         max_rounds: Round cap; defaults to the algorithm's registered cap.
         enforce_legality: Verify every message against the communication
@@ -131,6 +155,7 @@ def discover(
         fault_plan=fault_plan,
         join_plan=join_plan,
         jitter=jitter,
+        delivery=delivery,
         observers=observers,
         enforce_legality=enforce_legality,
         fast_path=fast_path,

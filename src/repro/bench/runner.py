@@ -22,7 +22,17 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..graphs.generators import make_topology
 from ..graphs.knowledge import KnowledgeGraph
@@ -30,11 +40,18 @@ from ..sim.faults import FaultPlan
 from ..sim.metrics import RunResult
 from ..sim.observers import Observer
 from ..sim.rng import derive_seed
+from ..sim.transport import DeliveryModel
 
 
 @dataclass(frozen=True)
 class Case:
-    """One cell of an experiment matrix."""
+    """One cell of an experiment matrix.
+
+    ``delivery`` is a delivery-model spec (string like ``"adversarial:2"``
+    or an unbound :class:`~repro.sim.transport.DeliveryModel`); ``None``
+    means lockstep.  Specs are picklable, so delivery-model cases fan out
+    over sweep workers like any other.
+    """
 
     algorithm: str
     topology: str
@@ -43,6 +60,7 @@ class Case:
     goal: str = "strong"
     params: Mapping[str, Any] = field(default_factory=dict)
     topology_params: Mapping[str, Any] = field(default_factory=dict)
+    delivery: Optional[Union[str, DeliveryModel]] = None
     label: Optional[str] = None  # display name when params vary
 
     @property
@@ -75,17 +93,25 @@ def run_case(
     *,
     fault_plan: Optional[FaultPlan] = None,
     jitter: int = 0,
+    delivery: Optional[Union[str, DeliveryModel]] = None,
     observers: Iterable[Observer] = (),
     enforce_legality: bool = False,
     fast_path: bool = True,
     max_rounds: Optional[int] = None,
     graph: Optional[KnowledgeGraph] = None,
 ) -> RunResult:
-    """Execute one case and return its result."""
+    """Execute one case and return its result.
+
+    The ``delivery`` keyword overrides ``case.delivery`` when given;
+    ``jitter`` remains the legacy alias and is mutually exclusive with
+    both (enforced by the engine).
+    """
     from .. import discover  # local import: repro re-exports this module
 
     if graph is None:
         graph = build_graph(case)
+    if delivery is None:
+        delivery = case.delivery
     return discover(
         graph,
         algorithm=case.algorithm,
@@ -93,6 +119,7 @@ def run_case(
         goal=case.goal,
         fault_plan=fault_plan,
         jitter=jitter,
+        delivery=delivery,
         observers=observers,
         enforce_legality=enforce_legality,
         fast_path=fast_path,
@@ -122,6 +149,7 @@ def sweep(
     workers: Optional[int] = None,
     enforce_legality: bool = False,
     fast_path: bool = True,
+    delivery: Optional[Union[str, DeliveryModel]] = None,
 ) -> List[RunResult]:
     """Run a full (algorithm × size × seed) matrix on one topology.
 
@@ -134,6 +162,10 @@ def sweep(
     worker rebuilds its cell's graph deterministically from the cell seed,
     and the result list keeps case order, so the output is identical to a
     serial sweep.
+
+    ``delivery`` applies one delivery-model spec to every cell (each run
+    binds its own per-run state, so sharing the spec is safe — including
+    across worker processes, where it travels by pickle inside the case).
     """
     params_by_algorithm = params_by_algorithm or {}
     cases: List[Case] = []
@@ -154,6 +186,7 @@ def sweep(
                         goal=goal,
                         params=params_by_algorithm.get(algorithm, {}),
                         topology_params=topology_params or {},
+                        delivery=delivery,
                     )
                 )
 

@@ -34,6 +34,11 @@ def result_to_dict(result: RunResult, include_rounds: bool = False) -> Dict[str,
         "dropped_messages": result.dropped_messages,
         "messages_by_kind": dict(result.messages_by_kind),
         "pointers_by_kind": dict(result.pointers_by_kind),
+        "dropped_by_reason": dict(result.dropped_by_reason),
+        # JSON object keys are strings; delays are re-int-keyed on load.
+        "delivery_delays": {
+            str(delay): count for delay, count in result.delivery_delays.items()
+        },
         "params": dict(result.params),
     }
     if include_rounds:
@@ -71,6 +76,11 @@ def result_from_dict(payload: Dict[str, Any]) -> RunResult:
         dropped_messages=payload.get("dropped_messages", 0),
         messages_by_kind=dict(payload.get("messages_by_kind", {})),
         pointers_by_kind=dict(payload.get("pointers_by_kind", {})),
+        dropped_by_reason=dict(payload.get("dropped_by_reason", {})),
+        delivery_delays={
+            int(delay): count
+            for delay, count in payload.get("delivery_delays", {}).items()
+        },
         round_stats=round_stats,
         params=dict(payload.get("params", {})),
     )

@@ -26,6 +26,7 @@ from .bench.experiments import EXPERIMENTS, get_experiment
 from .bench.seeds import SCALES, bench_scale
 from .graphs.generators import TOPOLOGIES, make_topology
 from .sim.faults import FaultPlan
+from .sim.transport import DELIVERY_MODELS, parse_delivery
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -35,11 +36,23 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("topologies:")
     for name in sorted(TOPOLOGIES):
         print(f"  {name}")
+    print("delivery models:")
+    for name in sorted(DELIVERY_MODELS):
+        print(f"  {name}")
     print("experiments:")
     for experiment_id, module in EXPERIMENTS.items():
         print(f"  {experiment_id:4s} {module.TITLE}")
     print(f"scales: {', '.join(SCALES)}")
     return 0
+
+
+def _delivery_spec(spec: str) -> str:
+    """argparse validator: check a --delivery spec early, keep the string."""
+    try:
+        parse_delivery(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return spec
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -50,8 +63,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     graph = make_topology(args.topology, args.n, seed=args.seed, id_space=args.id_space)
     fault_plan = FaultPlan(loss_rate=args.loss, seed=args.seed) if args.loss else None
+    hostile_delivery = bool(args.delivery) and args.delivery != "lockstep"
     params = {}
-    if args.algorithm in ("sublog", "sublogcoin") and args.loss:
+    if args.algorithm in ("sublog", "sublogcoin") and (args.loss or hostile_delivery):
         params = {"resilient": True, "stagnation_phases": 4}
     observers = []
     trace_observer = None
@@ -69,6 +83,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         goal=args.goal,
         fault_plan=fault_plan,
+        delivery=args.delivery,
         observers=observers,
         fast_path=not args.legacy_engine,
         profile=args.profile,
@@ -78,13 +93,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"algorithm : {result.algorithm}")
     print(f"topology  : {args.topology} (n={args.n}, seed={args.seed})")
     print(f"goal      : {args.goal}")
+    if args.delivery:
+        print(f"delivery  : {args.delivery}")
     print(f"completed : {result.completed}")
     print(f"rounds    : {result.rounds}")
     print(f"messages  : {result.messages:,}")
     print(f"pointers  : {result.pointers:,}")
     print(f"bits      : {result.bits:,}")
     if result.dropped_messages:
-        print(f"dropped   : {result.dropped_messages:,}")
+        reasons = ", ".join(
+            f"{reason}={count:,}"
+            for reason, count in sorted(result.dropped_by_reason.items())
+        )
+        print(f"dropped   : {result.dropped_messages:,} ({reasons})")
     print(f"wall time : {elapsed:.2f}s")
     if args.profile:
         timings = result.extra.get("phase_timings", {})
@@ -142,6 +163,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.sizes,
         args.seeds,
         workers=args.workers,
+        delivery=args.delivery,
     )
     elapsed = time.perf_counter() - started
     count = save_results(
@@ -153,6 +175,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "seeds": args.seeds,
             "algorithms": args.algorithms,
             "workers": args.workers,
+            "delivery": args.delivery,
         },
     )
     incomplete = sum(1 for result in results if not result.completed)
@@ -184,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--goal", default="strong", choices=("strong", "weak", "strong_alive")
     )
     run_parser.add_argument("--loss", type=float, default=0.0, help="message loss rate")
+    run_parser.add_argument(
+        "--delivery",
+        type=_delivery_spec,
+        default=None,
+        metavar="SPEC",
+        help="delivery model: lockstep, jitter:J, adversarial[:D], "
+        "perlink[:S], or partition:A-B",
+    )
     run_parser.add_argument("--id-space", default="dense", choices=("dense", "random"))
     run_parser.add_argument(
         "--trace", default=None, metavar="FILE", help="write a JSONL message trace"
@@ -229,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan the sweep out over N worker processes (results stay "
         "deterministic and ordered)",
+    )
+    sweep_parser.add_argument(
+        "--delivery",
+        type=_delivery_spec,
+        default=None,
+        metavar="SPEC",
+        help="delivery model applied to every cell (see 'run --delivery')",
     )
     sweep_parser.add_argument("--out", required=True, help="JSON results file")
     sweep_parser.set_defaults(handler=_cmd_sweep)

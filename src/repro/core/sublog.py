@@ -463,7 +463,7 @@ class SubLogNode(DiscoveryNode):
         self._roster_at_last_assign = 0
         self._stagnant_phases = 0
 
-    # -- introspection (observers, tests) -----------------------------------------------------------
+    # -- introspection (observers, tests) --------------------------------------
 
     def cluster_view(self) -> Dict[str, object]:
         """Snapshot of the cluster state for observers and debugging."""

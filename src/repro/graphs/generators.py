@@ -331,7 +331,8 @@ def clustered(
     group_list = sorted(groups)
     for index, group in enumerate(group_list):
         for _ in range(max(1, bridges)):
-            other = group_list[(index + 1 + rng.randrange(max(1, len(group_list) - 1))) % len(group_list)]
+            hop = index + 1 + rng.randrange(max(1, len(group_list) - 1))
+            other = group_list[hop % len(group_list)]
             if other == group:
                 continue
             source = rng.choice(groups[group])

@@ -8,6 +8,9 @@ The public surface of the simulator:
 * :class:`Message` — the unit of communication.
 * :class:`RunResult` / :class:`RoundStats` — complexity accounting.
 * :class:`FaultPlan` / :func:`crash_fraction_plan` — fault injection.
+* :class:`DeliveryModel` and friends — pluggable delivery semantics
+  (lockstep, bounded jitter, per-link latency, adversarial scheduling,
+  partition windows).
 * :class:`Observer` and friends — read-only run inspection.
 * :func:`derive_rng` / :func:`derive_seed` — deterministic randomness.
 """
@@ -32,19 +35,36 @@ from .observers import (
 )
 from .rng import derive_rng, derive_seed
 from .trace import TraceEvent, TraceObserver, read_jsonl
+from .transport import (
+    DELIVERY_MODELS,
+    AdversarialScheduler,
+    BoundedJitter,
+    DeliveryModel,
+    Lockstep,
+    PartitionWindow,
+    PerLinkLatency,
+    parse_delivery,
+)
 
 __all__ = [
+    "DELIVERY_MODELS",
     "GOALS",
     "MESSAGE_HEADER_WORDS",
+    "AdversarialScheduler",
+    "BoundedJitter",
+    "DeliveryModel",
     "EngineStateError",
     "FaultInjector",
     "FaultPlan",
     "JoinPlan",
     "KnowledgeSizeObserver",
     "LoadObserver",
+    "Lockstep",
     "Message",
     "MetricsCollector",
     "Observer",
+    "PartitionWindow",
+    "PerLinkLatency",
     "ProtocolNode",
     "ProtocolViolation",
     "RoundLogObserver",
@@ -61,5 +81,6 @@ __all__ = [
     "derive_seed",
     "late_join_workload",
     "message_bits",
+    "parse_delivery",
     "read_jsonl",
 ]

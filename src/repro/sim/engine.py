@@ -13,11 +13,26 @@ protocol's own bookkeeping.  Ground truth drives the legality checks, the
 goal predicates, and — via observers — the lower-bound experiments, so a
 buggy or adversarial protocol cannot misreport its own progress.
 
+Delivery semantics — which round a submitted message lands, and whether
+it is filtered in flight — live in the pluggable delivery models of
+:mod:`repro.sim.transport`.  The engine's round loop is *protocol step →
+transport submit → transport deliver → absorb*; it owns the knowledge
+ground truth and the legality guard, while the bound
+:class:`~repro.sim.transport.DeliveryModel` owns scheduling (lockstep,
+bounded jitter, per-link latency, adversarial delay) and delivery-time
+vetoes (partition windows).  The historical ``jitter=`` knob survives as
+an alias for ``delivery=BoundedJitter(jitter)``.
+
 Two interchangeable execution paths are provided (selected by the
 ``fast_path`` constructor flag and proven equivalent by the differential
-tests in ``tests/sim/test_fast_path_equivalence.py``):
+tests in ``tests/sim/test_fast_path_equivalence.py``).  Note the default
+split: the engine constructor itself defaults to ``fast_path=False``
+(the reference path), while the bench harness (`repro.bench.runner`),
+the CLI, and :func:`repro.discover` all default to ``fast_path=True`` —
+so casual engine construction gets the obviously-correct path and every
+shipped entry point gets the fast one.
 
-* the **legacy path** (``fast_path=False``, the default) walks every
+* the **legacy path** (``fast_path=False``) walks every
   carried pointer in interpreted per-id loops — simple, obviously
   correct, and the reference implementation;
 * the **dense fast path** (``fast_path=True``) remaps the opaque machine
@@ -81,10 +96,11 @@ from .churn import JoinPlan
 from .errors import EngineStateError, ProtocolViolation, UnknownNodeError
 from .faults import FaultInjector, FaultPlan
 from .messages import Message, tally_by_kind
-from .metrics import MetricsCollector, RunResult
+from .metrics import DROP_CRASH, DROP_DORMANT, DROP_FAULT, MetricsCollector, RunResult
 from .node import ProtocolNode
 from .observers import Observer
 from .rng import derive_rng
+from .transport import BoundedJitter, DeliveryModel, Lockstep, parse_delivery
 
 NodeFactory = Callable[[int], ProtocolNode]
 GoalPredicate = Callable[["SynchronousEngine"], bool]
@@ -140,18 +156,27 @@ class SynchronousEngine:
         join_plan: Optional :class:`repro.sim.churn.JoinPlan` — machines
             listed in it are dormant (not executing, unreachable) until
             their join round.
-        jitter: Bounded-asynchrony knob.  A message sent in round ``r`` is
-            delivered at the start of round ``r + d`` where ``d`` is drawn
-            uniformly from ``1 .. 1 + jitter`` (deterministically in the
-            seed).  ``jitter=0`` is the classic synchronous model; larger
-            values stress protocols whose phase structure assumes
-            lockstep delivery (experiment T7).
+        jitter: Bounded-asynchrony knob, kept as a convenience alias for
+            ``delivery=BoundedJitter(jitter)``: a message sent in round
+            ``r`` is delivered at the start of round ``r + d`` where
+            ``d`` is drawn uniformly from ``1 .. 1 + jitter``
+            (deterministically in the seed).  ``jitter=0`` is the classic
+            synchronous model.  Mutually exclusive with ``delivery=``.
+        delivery: Delivery model — a
+            :class:`repro.sim.transport.DeliveryModel` instance or a spec
+            string (``"lockstep"``, ``"jitter:2"``, ``"adversarial:3"``,
+            ``"perlink:2"``, ``"partition:4-8"``; see
+            :func:`repro.sim.transport.parse_delivery`).  ``None`` (the
+            default) means lockstep, or bounded jitter when ``jitter`` is
+            given.
         observers: Read-only observers notified per round.
         enforce_legality: Verify the ids of every message against the
             sender's ground-truth knowledge.  Costs O(total pointers) on
             both paths; benchmarks may disable it, tests keep it on.
         fast_path: Use the dense bitmask execution path (see the module
-            docstring).  Produces bit-identical :class:`RunResult`\\ s;
+            docstring).  Defaults to ``False`` here (the reference path);
+            the bench harness, CLI, and :func:`repro.discover` pass
+            ``True``.  Produces bit-identical :class:`RunResult`\\ s;
             the differential test suite holds the two paths equal.
         profile: Accumulate per-phase wall-clock timings (exposed as
             :attr:`phase_timings` and ``RunResult.extra["phase_timings"]``).
@@ -168,6 +193,7 @@ class SynchronousEngine:
         fault_plan: Optional[FaultPlan] = None,
         join_plan: Optional[JoinPlan] = None,
         jitter: int = 0,
+        delivery: Optional[Union[str, DeliveryModel]] = None,
         observers: Iterable[Observer] = (),
         enforce_legality: bool = True,
         fast_path: bool = False,
@@ -206,8 +232,23 @@ class SynchronousEngine:
                 raise UnknownNodeError(f"join plan lists unknown node {node}")
         if jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {jitter}")
-        self.jitter = jitter
-        self._delay_rng = derive_rng(seed, "delivery-jitter")
+        if delivery is not None and jitter:
+            raise ValueError(
+                "pass either delivery= or the jitter= alias, not both"
+            )
+        if delivery is None:
+            model = BoundedJitter(jitter) if jitter else Lockstep()
+        else:
+            model = parse_delivery(delivery)
+        self.delivery: DeliveryModel = model.bind(self)
+        self.jitter = getattr(model, "jitter", 0)
+        self._wants_deliveries = any(
+            getattr(observer, "wants_deliveries", False)
+            for observer in self.observers
+        )
+        self._delivery_log: Optional[
+            List[Tuple[Message, int, Optional[str]]]
+        ] = [] if self._wants_deliveries else None
 
         # Ground-truth knowledge and its derived counters.  ``_ksets`` is
         # the storage behind the public ``knowledge`` property; on the
@@ -240,7 +281,6 @@ class SynchronousEngine:
 
         self.round_no = 0
         self._inboxes: Dict[int, List[Message]] = {}
-        self._future: Dict[int, List[Message]] = {}
         self._finished = False
         for observer in self.observers:
             observer.on_setup(self)
@@ -496,6 +536,8 @@ class SynchronousEngine:
         if self._finished:
             raise EngineStateError("engine already finished; build a new one")
         self.round_no += 1
+        if self._delivery_log is not None:
+            self._delivery_log = []
         newly_crashed = self._faults.apply_crashes(self.round_no)
         if newly_crashed:
             for node in newly_crashed:
@@ -541,6 +583,8 @@ class SynchronousEngine:
             self._phase_timings["protocol"] += now - tick
             tick = now
 
+        delivery = self.delivery
+        log = self._delivery_log
         for message in sends:
             if message.recipient not in self._id_set:
                 raise UnknownNodeError(
@@ -549,12 +593,10 @@ class SynchronousEngine:
             dropped = self._faults.should_drop(message.sender, message.recipient)
             self.metrics.record_send(message, dropped=dropped)
             if dropped:
+                if log is not None:
+                    log.append((message, 0, DROP_FAULT))
                 continue
-            if self.jitter:
-                delay = 1 + self._delay_rng.randrange(self.jitter + 1)
-            else:
-                delay = 1
-            self._future.setdefault(self.round_no + delay, []).append(message)
+            delivery.submit(message, self.round_no)
 
         if profile:
             now = perf_counter()
@@ -562,18 +604,14 @@ class SynchronousEngine:
             tick = now
 
         # Deliver everything scheduled for the start of the next round.
-        # Crash and dormancy are re-checked at delivery time: a machine
-        # that died (or has not powered on) while a message was in flight
-        # never receives it.
+        # The delivery model re-checks crash and dormancy at delivery time
+        # (a machine that died, or has not powered on, while a message was
+        # in flight never receives it) and applies any model-specific
+        # filtering; only surviving messages reach this loop.
         deliver_round = self.round_no + 1
         next_inboxes: Dict[int, List[Message]] = {}
-        for message in self._future.pop(deliver_round, ()):
+        for message, _delay in delivery.deliver(deliver_round):
             recipient = message.recipient
-            if self._faults.is_crashed(recipient) or self._joins.is_dormant(
-                recipient, deliver_round
-            ):
-                self.metrics.record_in_flight_loss()
-                continue
             next_inboxes.setdefault(recipient, []).append(message)
             self._learn(recipient, message.ids)
             self._learn(recipient, (message.sender,))
@@ -615,20 +653,21 @@ class SynchronousEngine:
             tick = now
 
         next_round = round_no + 1
+        delivery = self.delivery
+        log = self._delivery_log
         if sends:
             messages_by_kind, pointers_by_kind = tally_by_kind(sends)
             dropped = 0
             faults = self._faults if self._faults.plan.has_faults else None
             id_set = self._id_set
-            jitter = self.jitter
-            future = self._future
-            if faults is None and not jitter:
-                # Fault-free lockstep (the overwhelmingly common case):
-                # the whole round's outbox becomes next round's delivery
-                # bucket wholesale.  Legality enforcement already proved
-                # every recipient real; without it, one C-level superset
-                # probe screens the batch and the per-message loop re-runs
-                # only to raise the exact legacy error.
+            if faults is None and delivery.uniform_delay is not None:
+                # Fault-free uniform delay (lockstep being the
+                # overwhelmingly common case): the whole round's outbox
+                # becomes one delivery bucket wholesale.  Legality
+                # enforcement already proved every recipient real;
+                # without it, one C-level superset probe screens the
+                # batch and the per-message loop re-runs only to raise
+                # the exact legacy error.
                 if not enforce and not id_set.issuperset(
                     map(_recipient_of, sends)
                 ):
@@ -638,13 +677,8 @@ class SynchronousEngine:
                                 f"node {message.sender} messaged "
                                 f"non-existent node {message.recipient}"
                             )
-                bucket = future.get(next_round)
-                if bucket is None:
-                    future[next_round] = sends
-                else:
-                    bucket.extend(sends)
+                delivery.submit_bulk(sends, round_no)
             else:
-                delay_rng = self._delay_rng
                 for message in sends:
                     recipient = message.recipient
                     # With legality enforcement on, the recipient is
@@ -659,16 +693,10 @@ class SynchronousEngine:
                         message.sender, recipient
                     ):
                         dropped += 1
+                        if log is not None:
+                            log.append((message, 0, DROP_FAULT))
                         continue
-                    if jitter:
-                        deliver_at = next_round + delay_rng.randrange(jitter + 1)
-                    else:
-                        deliver_at = next_round
-                    bucket = future.get(deliver_at)
-                    if bucket is None:
-                        future[deliver_at] = [message]
-                    else:
-                        bucket.append(message)
+                    delivery.submit(message, round_no)
             self.metrics.record_batch(messages_by_kind, pointers_by_kind, dropped)
 
         if profile:
@@ -677,7 +705,7 @@ class SynchronousEngine:
             tick = now
 
         next_inboxes: Dict[int, List[Message]] = {}
-        pending = self._future.pop(next_round, None)
+        pending, delays = delivery.pending(next_round)
         if pending:
             index = self._index
             kmasks = self._kmasks
@@ -687,12 +715,54 @@ class SynchronousEngine:
             ksets = self._ksets if enforce else None
             metrics = self.metrics
             learned = False
+            track = log is not None
+            if track or delivery.filters_delivery:
+                # Rare regime (tracing observer or filtering model):
+                # resolve drops, delays, and logging in a pre-pass so the
+                # learning loop below stays as lean as the plain case.
+                filters = delivery.filters_delivery
+                delay = delivery.uniform_delay or 1
+                delay_iter = iter(delays) if delays is not None else None
+                kept: List[Message] = []
+                keep = kept.append
+                for message in pending:
+                    if delay_iter is not None:
+                        delay = next(delay_iter)
+                    recipient = message.recipient
+                    if crashed and recipient in crashed:
+                        metrics.record_in_flight_loss(DROP_CRASH)
+                        if track:
+                            log.append((message, delay, DROP_CRASH))
+                        continue
+                    if joins is not None and joins.is_dormant(
+                        recipient, next_round
+                    ):
+                        metrics.record_in_flight_loss(DROP_DORMANT)
+                        if track:
+                            log.append((message, delay, DROP_DORMANT))
+                        continue
+                    if filters:
+                        reason = delivery.drop_reason(
+                            message.sender, recipient, next_round
+                        )
+                        if reason is not None:
+                            metrics.record_in_flight_loss(reason)
+                            if track:
+                                log.append((message, delay, reason))
+                            continue
+                    if track:
+                        log.append((message, delay, None))
+                    keep(message)
+                pending = kept
+                crashed = None
+                joins = None
             for message in pending:
                 recipient = message.recipient
-                if (crashed and recipient in crashed) or (
-                    joins is not None and joins.is_dormant(recipient, next_round)
-                ):
-                    metrics.record_in_flight_loss()
+                if crashed and recipient in crashed:
+                    metrics.record_in_flight_loss(DROP_CRASH)
+                    continue
+                if joins is not None and joins.is_dormant(recipient, next_round):
+                    metrics.record_in_flight_loss(DROP_DORMANT)
                     continue
                 bucket = next_inboxes.get(recipient)
                 if bucket is None:
@@ -839,6 +909,8 @@ class SynchronousEngine:
             dropped_messages=self.metrics.total_dropped,
             messages_by_kind=dict(self.metrics.messages_by_kind),
             pointers_by_kind=dict(self.metrics.pointers_by_kind),
+            dropped_by_reason=dict(self.metrics.dropped_by_reason),
+            delivery_delays=dict(self.metrics.delivery_delays),
             round_stats=tuple(self.metrics.round_stats),
             params=dict(self.params),
             extra=extra,

@@ -15,6 +15,17 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .messages import MESSAGE_HEADER_WORDS, Message
 
+#: Loss-reason tags used by :attr:`MetricsCollector.dropped_by_reason`.
+#: ``fault`` — dropped at send time by the loss-rate coin
+#: (:meth:`repro.sim.faults.FaultInjector.should_drop`); ``crash`` — the
+#: recipient crashed while the message was in flight; ``dormant`` — the
+#: recipient had not yet joined at delivery time; ``partition`` — vetoed
+#: by a :class:`repro.sim.transport.PartitionWindow` delivery model.
+DROP_FAULT = "fault"
+DROP_CRASH = "crash"
+DROP_DORMANT = "dormant"
+DROP_PARTITION = "partition"
+
 
 @dataclass(frozen=True, slots=True)
 class RoundStats:
@@ -36,13 +47,19 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.total_messages = 0
         self.total_pointers = 0
-        self.total_dropped = 0
         self.messages_by_kind: Counter[str] = Counter()
         self.pointers_by_kind: Counter[str] = Counter()
+        self.dropped_by_reason: Counter[str] = Counter()
+        self.delivery_delays: Counter[int] = Counter()
         self.round_stats: List[RoundStats] = []
         self._round_messages = 0
         self._round_pointers = 0
         self._round_dropped = 0
+
+    @property
+    def total_dropped(self) -> int:
+        """All losses regardless of reason (the historical aggregate)."""
+        return sum(self.dropped_by_reason.values())
 
     def record_send(self, message: Message, dropped: bool = False) -> None:
         """Charge one message (sent messages count even when dropped)."""
@@ -54,7 +71,7 @@ class MetricsCollector:
         self._round_messages += 1
         self._round_pointers += pointers
         if dropped:
-            self.total_dropped += 1
+            self.dropped_by_reason[DROP_FAULT] += 1
             self._round_dropped += 1
 
     def record_batch(
@@ -81,15 +98,21 @@ class MetricsCollector:
         self._round_messages += messages
         self._round_pointers += pointers
         if dropped:
-            self.total_dropped += dropped
+            self.dropped_by_reason[DROP_FAULT] += dropped
             self._round_dropped += dropped
 
-    def record_in_flight_loss(self) -> None:
+    def record_in_flight_loss(self, reason: str = DROP_CRASH) -> None:
         """Charge a drop for a message lost after sending (recipient
-        crashed or still dormant at delivery time).  The send itself was
-        already recorded; only the drop counters move."""
-        self.total_dropped += 1
+        crashed or dormant at delivery time, or vetoed by the delivery
+        model).  The send itself was already recorded; only the drop
+        counters move."""
+        self.dropped_by_reason[reason] += 1
         self._round_dropped += 1
+
+    def record_delay(self, delay: int, count: int = 1) -> None:
+        """Charge *count* messages scheduled with the given in-flight delay
+        (rounds from send to delivery attempt) to the latency histogram."""
+        self.delivery_delays[delay] += count
 
     def close_round(self, round_no: int) -> RoundStats:
         """Finish the current round and return its statistics."""
@@ -118,7 +141,14 @@ class RunResult:
         rounds: Rounds executed until completion (or until the cap when
             ``completed`` is ``False``).
         messages / pointers: Totals over the whole run.
-        dropped_messages: Messages charged but lost to fault injection.
+        dropped_messages: Messages charged but lost for any reason
+            (send-time fault drops plus in-flight losses).
+        dropped_by_reason: The same losses keyed by reason tag (``fault``,
+            ``crash``, ``dormant``, ``partition`` — the ``DROP_*``
+            constants); values sum to ``dropped_messages``.
+        delivery_delays: Histogram ``{delay_rounds: message_count}`` of
+            the in-flight delay assigned to every scheduled message
+            (``{1: sends}`` under lockstep delivery).
         messages_by_kind / pointers_by_kind: Per-message-kind breakdowns.
         round_stats: Per-round cost trajectory.
         params: Algorithm parameters used for the run.
@@ -136,6 +166,8 @@ class RunResult:
     dropped_messages: int = 0
     messages_by_kind: Mapping[str, int] = field(default_factory=dict)
     pointers_by_kind: Mapping[str, int] = field(default_factory=dict)
+    dropped_by_reason: Mapping[str, int] = field(default_factory=dict)
+    delivery_delays: Mapping[int, int] = field(default_factory=dict)
     round_stats: Tuple[RoundStats, ...] = ()
     params: Mapping[str, Any] = field(default_factory=dict)
     extra: Mapping[str, Any] = field(default_factory=dict)

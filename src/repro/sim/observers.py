@@ -25,6 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 class Observer:
     """Base observer; override any subset of the hooks."""
 
+    #: Set to ``True`` by observers that consume the engine's per-round
+    #: delivery log (``engine._delivery_log``: one ``(message, delay,
+    #: drop_reason)`` entry per scheduled delivery).  The engine only
+    #: materializes the log when some attached observer wants it, so the
+    #: hot loop stays free of per-message bookkeeping by default.
+    wants_deliveries = False
+
     def on_setup(self, engine: "SynchronousEngine") -> None:
         """Called once after nodes are bound, before round 1."""
 

@@ -1,13 +1,18 @@
 """Structured event tracing for discovery runs.
 
-:class:`TraceObserver` records one event per delivered message — round,
-kind, sender, recipient, pointer count — with optional filtering, bounded
-memory, and JSONL export.  It reads the engine's per-round inbox map, so
-it sees exactly what was *delivered* (dropped messages never appear).
+:class:`TraceObserver` records one event per scheduled message delivery —
+round, kind, sender, recipient, pointer count, in-flight delay — with
+optional filtering, bounded memory, and JSONL export.  It consumes the
+engine's per-round delivery log (which the engine materializes only when
+an observer sets ``wants_deliveries``), so it sees exactly what the
+delivery model decided: delivered messages land in :attr:`events`, and
+messages lost in flight (crash, dormancy, partition) or dropped at send
+time land in :attr:`drops` with their reason tag.
 
 Intended uses: debugging a protocol change round by round, teaching (the
 trace of a 8-node run fits on a screen), and offline analysis of traffic
-shape (per-kind histograms over time).
+shape (per-kind histograms over time, delay distributions under the
+non-lockstep delivery models of :mod:`repro.sim.transport`).
 """
 
 from __future__ import annotations
@@ -34,18 +39,30 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One delivered message."""
+    """One message delivery attempt.
+
+    ``delay`` is the in-flight delay the delivery model assigned (rounds
+    from send to delivery attempt; 0 for messages dropped at send time).
+    ``dropped`` is ``None`` for delivered messages, else the loss-reason
+    tag (``fault`` / ``crash`` / ``dormant`` / ``partition`` — the
+    ``DROP_*`` constants of :mod:`repro.sim.metrics`).
+    """
 
     round_no: int
     kind: str
     sender: int
     recipient: int
     pointers: int
+    delay: int = 1
+    dropped: Optional[str] = None
 
     def format(self) -> str:
+        suffix = f" [dropped: {self.dropped}]" if self.dropped else ""
+        delay_note = f" d={self.delay}" if self.delay != 1 else ""
         return (
             f"r{self.round_no:>4} {self.kind:<8} "
             f"{self.sender} -> {self.recipient} ({self.pointers} ptrs)"
+            f"{delay_note}{suffix}"
         )
 
 
@@ -53,15 +70,18 @@ EventFilter = Callable[[TraceEvent], bool]
 
 
 class TraceObserver(Observer):
-    """Records delivered messages as :class:`TraceEvent` rows.
+    """Records message deliveries as :class:`TraceEvent` rows.
 
     Args:
         kinds: Record only these message kinds (``None`` = all).
         nodes: Record only messages touching these node ids (``None`` = all).
         limit: Hard cap on stored events; recording stops (and
             ``truncated`` is set) when reached, so tracing a large run by
-            accident cannot exhaust memory.
+            accident cannot exhaust memory.  :attr:`events` (deliveries)
+            and :attr:`drops` (losses) each get their own ``limit``.
     """
+
+    wants_deliveries = True
 
     def __init__(
         self,
@@ -75,6 +95,7 @@ class TraceObserver(Observer):
         self.nodes = frozenset(nodes) if nodes is not None else None
         self.limit = limit
         self.events: List[TraceEvent] = []
+        self.drops: List[TraceEvent] = []
         self.truncated = False
 
     def _wanted(self, event: TraceEvent) -> bool:
@@ -87,23 +108,27 @@ class TraceObserver(Observer):
         return True
 
     def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
-        if self.truncated:
+        log = engine._delivery_log
+        if log is None:
             return
-        for recipient, inbox in sorted(engine._inboxes.items()):
-            for message in inbox:
-                event = TraceEvent(
-                    round_no=round_no,
-                    kind=message.kind,
-                    sender=message.sender,
-                    recipient=recipient,
-                    pointers=message.pointer_count,
-                )
-                if not self._wanted(event):
-                    continue
-                if len(self.events) >= self.limit:
+        for message, delay, reason in log:
+            sink = self.events if reason is None else self.drops
+            if len(sink) >= self.limit:
+                if reason is None:
                     self.truncated = True
-                    return
-                self.events.append(event)
+                continue
+            event = TraceEvent(
+                round_no=round_no,
+                kind=message.kind,
+                sender=message.sender,
+                recipient=message.recipient,
+                pointers=message.pointer_count,
+                delay=delay,
+                dropped=reason,
+            )
+            if not self._wanted(event):
+                continue
+            sink.append(event)
 
     # -- queries ----------------------------------------------------------------
 
@@ -111,6 +136,12 @@ class TraceObserver(Observer):
         counts: Dict[str, int] = {}
         for event in self.events:
             counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def drops_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.drops:
+            counts[event.dropped] = counts.get(event.dropped, 0) + 1
         return counts
 
     def rounds_covered(self) -> Sequence[int]:
@@ -135,6 +166,8 @@ class TraceObserver(Observer):
         return {
             "trace_events": len(self.events),
             "trace_by_kind": self.by_kind(),
+            "trace_drops": len(self.drops),
+            "trace_drops_by_reason": self.drops_by_reason(),
             "trace_truncated": self.truncated,
         }
 

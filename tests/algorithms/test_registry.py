@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms.registry import ALGORITHMS, algorithm_names, get_algorithm
+from repro.algorithms.registry import algorithm_names, get_algorithm
 from repro.core.sublog import SubLogNode
 from repro.sim.node import ProtocolNode
 

@@ -107,3 +107,47 @@ class TestParallelSweep:
         fast = sweep(["namedropper"], "kout", [20], [3, 4])
         legacy = sweep(["namedropper"], "kout", [20], [3, 4], fast_path=False)
         assert fast == legacy
+
+
+class TestDeliveryThreading:
+    def test_case_delivery_reaches_the_engine(self):
+        case = Case(
+            algorithm="namedropper",
+            topology="kout",
+            n=20,
+            seed=3,
+            delivery="adversarial:2",
+        )
+        result = run_case(case)
+        assert result.completed
+        assert set(result.delivery_delays) == {3}
+
+    def test_run_case_kwarg_overrides_case_delivery(self):
+        case = Case(
+            algorithm="namedropper",
+            topology="kout",
+            n=20,
+            seed=3,
+            delivery="adversarial:2",
+        )
+        overridden = run_case(case, delivery="lockstep")
+        assert set(overridden.delivery_delays) == {1}
+
+    def test_sweep_applies_delivery_to_every_cell(self):
+        results = sweep(
+            ["namedropper", "flooding"], "kout", [16], [1, 2],
+            delivery="adversarial:1",
+        )
+        assert len(results) == 4
+        assert all(set(r.delivery_delays) == {2} for r in results)
+
+    def test_parallel_delivery_sweep_matches_serial(self):
+        """Delivery specs must survive the pickle trip to sweep workers."""
+        serial = sweep(
+            ["namedropper"], "kout", [16, 20], [1, 2], delivery="perlink:2"
+        )
+        parallel = sweep(
+            ["namedropper"], "kout", [16, 20], [1, 2], delivery="perlink:2",
+            workers=2,
+        )
+        assert parallel == serial

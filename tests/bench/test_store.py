@@ -54,6 +54,27 @@ class TestDictRoundTrip:
     def test_payload_is_json_safe(self):
         json.dumps(result_to_dict(sample_result(), include_rounds=True))
 
+    def test_delivery_fields_round_trip(self):
+        original = sample_result(
+            dropped_messages=5,
+            dropped_by_reason={"fault": 2, "partition": 3},
+            delivery_delays={1: 100, 3: 20},
+        )
+        payload = result_to_dict(original)
+        # JSON object keys are strings; the histogram must re-key to ints.
+        assert payload["delivery_delays"] == {"1": 100, "3": 20}
+        restored = result_from_dict(json.loads(json.dumps(payload)))
+        assert restored.dropped_by_reason == {"fault": 2, "partition": 3}
+        assert restored.delivery_delays == {1: 100, 3: 20}
+
+    def test_delivery_fields_default_empty_for_old_payloads(self):
+        payload = result_to_dict(sample_result())
+        payload.pop("dropped_by_reason", None)
+        payload.pop("delivery_delays", None)
+        restored = result_from_dict(payload)
+        assert restored.dropped_by_reason == {}
+        assert restored.delivery_delays == {}
+
 
 class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path):

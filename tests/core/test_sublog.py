@@ -13,7 +13,7 @@ from repro.analysis.invariants import (
     MonotonicityObserver,
     verify_view_consistency,
 )
-from repro.core import ClusterSizeObserver, ROUNDS_PER_PHASE, SubLogConfig, SubLogNode
+from repro.core import ClusterSizeObserver, ROUNDS_PER_PHASE, SubLogNode
 from repro.graphs import make_topology
 from repro.sim import SynchronousEngine
 
@@ -138,7 +138,9 @@ class TestClusterMechanics:
         engine = SynchronousEngine(graph, spec.node_factory(), seed=7)
         engine.run(max_rounds=400)
         leaders = [
-            node for node in engine.nodes.values() if isinstance(node, SubLogNode) and node.is_leader
+            node
+            for node in engine.nodes.values()
+            if isinstance(node, SubLogNode) and node.is_leader
         ]
         assert len(leaders) == 1
         assert len(leaders[0].roster) == 64

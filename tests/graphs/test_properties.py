@@ -6,7 +6,7 @@ import pytest
 
 from repro.graphs.generators import make_topology
 from repro.graphs.knowledge import KnowledgeGraph
-from repro.graphs.properties import GraphProfile, knowledge_completeness, profile
+from repro.graphs.properties import knowledge_completeness, profile
 
 
 class TestProfile:

@@ -13,7 +13,6 @@ connected directed knowledge graph hypothesis can construct —
 
 from __future__ import annotations
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -17,6 +17,8 @@ both paths must raise the identical :class:`ProtocolViolation`.
 
 from __future__ import annotations
 
+import hashlib
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -28,6 +30,7 @@ from repro.sim.churn import JoinPlan
 from repro.sim.errors import ProtocolViolation, UnknownNodeError
 from repro.sim.faults import FaultPlan, crash_fraction_plan
 from repro.sim.node import ProtocolNode
+from repro.sim.transport import BoundedJitter
 
 from ..strategies import weakly_connected_graphs
 
@@ -38,7 +41,7 @@ TOPOLOGY_ARGS = {
 
 
 def _both_paths(graph, algorithm, *, seed, enforce, goal="strong", jitter=0,
-                fault_plan=None, join_plan=None):
+                delivery=None, fault_plan=None, join_plan=None):
     """Run one configuration on both paths; return (legacy, fast) engines
     and results."""
     outcome = []
@@ -50,6 +53,7 @@ def _both_paths(graph, algorithm, *, seed, enforce, goal="strong", jitter=0,
             seed=seed,
             goal=goal,
             jitter=jitter,
+            delivery=delivery,
             fault_plan=fault_plan,
             join_plan=join_plan,
             enforce_legality=enforce,
@@ -88,6 +92,157 @@ def test_jitter_match(jitter, enforce):
         graph, "namedropper", seed=7, enforce=enforce, jitter=jitter
     )
     _assert_identical(legacy, fast)
+
+
+# Pre-refactor signatures of the engine's *inline* jitter implementation
+# (captured from commit a023060, before delivery semantics moved into
+# repro.sim.transport): kout graph, n=18, graph seed 4, k=3, engine seed
+# 7, enforce_legality=True, max_rounds=4000.  The knowledge hash covers
+# every machine's final ground-truth set.  BoundedJitter through the
+# transport layer must keep reproducing these bit-for-bit on both engine
+# paths — this is the refactor's backward-compatibility contract.
+_JITTER_GOLDENS = {
+    # (algorithm, jitter): (completed, rounds, messages, pointers, dropped, khash)
+    ("flooding", 1): (True, 4, 286, 1527, 0, "9961a19949b0"),
+    ("flooding", 3): (True, 6, 377, 1520, 0, "9961a19949b0"),
+    ("namedropper", 1): (True, 9, 162, 1532, 0, "9961a19949b0"),
+    ("namedropper", 3): (True, 11, 198, 1837, 0, "9961a19949b0"),
+    ("rpj", 1): (True, 9, 290, 1397, 0, "9961a19949b0"),
+    ("rpj", 3): (True, 12, 382, 1698, 0, "9961a19949b0"),
+    ("sublog", 1): (True, 21, 293, 820, 0, "9961a19949b0"),
+    ("sublog", 3): (True, 35, 521, 1173, 0, "9961a19949b0"),
+    ("sublogcoin", 1): (True, 39, 464, 917, 0, "9961a19949b0"),
+    ("sublogcoin", 3): (True, 41, 638, 1433, 0, "9961a19949b0"),
+    ("swamping", 1): (True, 3, 436, 5062, 0, "9961a19949b0"),
+    ("swamping", 3): (True, 4, 601, 7127, 0, "9961a19949b0"),
+}
+
+# Same contract under fault injection (send-time loss coin interleaved
+# with the jitter RNG): namedropper, kout n=24 graph seed 5, engine seed
+# 42, jitter 2, loss_rate 0.15 fault seed 3.
+_JITTER_LOSS_GOLDEN = (True, 13, 312, 3940, 45, "8dcf3f3b1291")
+
+
+def _knowledge_hash(engine):
+    canonical = sorted(
+        (node, tuple(sorted(known))) for node, known in engine.knowledge.items()
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()[:12]
+
+
+def _golden_signature(engine, result):
+    return (
+        result.completed,
+        result.rounds,
+        result.messages,
+        result.pointers,
+        result.dropped_messages,
+        _knowledge_hash(engine),
+    )
+
+
+def _run_golden(algorithm, *, fast, graph, seed, fault_plan=None, **delivery_kw):
+    engine = SynchronousEngine(
+        graph,
+        get_algorithm(algorithm).node_factory(),
+        seed=seed,
+        fault_plan=fault_plan,
+        enforce_legality=True,
+        fast_path=fast,
+        algorithm_name=algorithm,
+        **delivery_kw,
+    )
+    return engine, engine.run(max_rounds=4000)
+
+
+@pytest.mark.parametrize("algorithm,jitter", sorted(_JITTER_GOLDENS))
+def test_bounded_jitter_matches_pre_refactor_goldens(algorithm, jitter):
+    """BoundedJitter through the transport layer is bit-identical to the
+    pre-refactor inline ``jitter=J`` — same rounds, messages, pointers,
+    and final knowledge — on both engine paths, however it is spelled
+    (``jitter=`` alias, model instance, or spec string)."""
+    graph = make_topology("kout", 18, seed=4, k=3)
+    want = _JITTER_GOLDENS[(algorithm, jitter)]
+    for fast in (False, True):
+        spellings = [
+            {"jitter": jitter},
+            {"delivery": BoundedJitter(jitter)},
+            {"delivery": f"jitter:{jitter}"},
+        ]
+        results = []
+        for kw in spellings:
+            engine, result = _run_golden(
+                algorithm, fast=fast, graph=graph, seed=7, **kw
+            )
+            assert _golden_signature(engine, result) == want, (fast, kw)
+            results.append(result)
+        # The spellings are not merely signature-equal: the full results
+        # (per-kind counters, per-round trajectories) coincide.
+        assert results[0] == results[1] == results[2]
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_bounded_jitter_with_loss_matches_golden(fast):
+    graph = make_topology("kout", 24, seed=5, k=3)
+    plan = FaultPlan(loss_rate=0.15, seed=3)
+    engine_a, result_a = _run_golden(
+        "namedropper", fast=fast, graph=graph, seed=42, fault_plan=plan, jitter=2
+    )
+    engine_b, result_b = _run_golden(
+        "namedropper",
+        fast=fast,
+        graph=graph,
+        seed=42,
+        fault_plan=plan,
+        delivery=BoundedJitter(2),
+    )
+    assert _golden_signature(engine_a, result_a) == _JITTER_LOSS_GOLDEN
+    assert _golden_signature(engine_b, result_b) == _JITTER_LOSS_GOLDEN
+    assert result_a == result_b
+    # The reason split accounts for every loss: all 45 are send-time
+    # fault drops (no crashes or churn in this configuration).
+    assert result_a.dropped_by_reason == {"fault": 45}
+
+
+@pytest.mark.parametrize(
+    "delivery",
+    ["adversarial:2", "perlink:2", "partition:3-6", "jitter:2"],
+)
+@pytest.mark.parametrize("algorithm", ["sublog", "namedropper", "flooding"])
+@pytest.mark.parametrize("enforce", [True, False])
+def test_delivery_models_match_across_paths(delivery, algorithm, enforce):
+    """Every delivery model produces identical results on both engine
+    paths (completion itself is model-dependent and not asserted here)."""
+    graph = make_topology("kout", 20, seed=9, k=3)
+    legacy, fast = _both_paths(
+        graph, algorithm, seed=42, enforce=enforce, delivery=delivery
+    )
+    _assert_identical(legacy, fast)
+
+
+def test_delivery_and_jitter_are_mutually_exclusive():
+    graph = {0: {1}, 1: {0}}
+    with pytest.raises(ValueError, match="not both"):
+        SynchronousEngine(graph, _UnknownIdNode, jitter=1, delivery="lockstep")
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_protocol_violation_identical_under_transport_jitter(fast):
+    """The legality guard raises the same error text when the violating
+    traffic flows through a transport-layer delivery model."""
+    graph = {0: {1}, 1: {0}, 2: {0, 1}}
+    engine = SynchronousEngine(
+        graph,
+        _UnknownIdNode,
+        seed=1,
+        delivery=BoundedJitter(2),
+        enforce_legality=True,
+        fast_path=fast,
+    )
+    with pytest.raises(ProtocolViolation) as excinfo:
+        for _ in range(4):
+            engine.step()
+    assert "carries unknown id 987654321" in str(excinfo.value)
 
 
 @pytest.mark.parametrize("algorithm", ["namedropper", "sublog", "flooding"])

@@ -23,6 +23,94 @@ class TestInFlightLoss:
         assert stats.dropped_messages == 1
 
 
+class TestDropReasons:
+    def test_in_flight_loss_defaults_to_crash(self):
+        from repro.sim.metrics import DROP_CRASH
+
+        collector = MetricsCollector()
+        collector.record_in_flight_loss()
+        assert collector.dropped_by_reason == {DROP_CRASH: 1}
+
+    def test_reasons_accumulate_independently(self):
+        from repro.sim.metrics import DROP_CRASH, DROP_DORMANT, DROP_PARTITION
+
+        collector = MetricsCollector()
+        collector.record_in_flight_loss(DROP_CRASH)
+        collector.record_in_flight_loss(DROP_DORMANT)
+        collector.record_in_flight_loss(DROP_DORMANT)
+        collector.record_in_flight_loss(DROP_PARTITION)
+        assert collector.dropped_by_reason == {
+            DROP_CRASH: 1,
+            DROP_DORMANT: 2,
+            DROP_PARTITION: 1,
+        }
+        assert collector.total_dropped == 4
+
+    def test_send_time_drops_tagged_as_fault(self):
+        from repro.sim.metrics import DROP_FAULT
+
+        collector = MetricsCollector()
+        collector.record_send(
+            Message(kind="x", sender=1, recipient=2), dropped=True
+        )
+        collector.record_batch({"x": 3}, {"x": 0}, dropped=2)
+        assert collector.dropped_by_reason == {DROP_FAULT: 3}
+
+    def test_total_dropped_is_derived_from_reasons(self):
+        collector = MetricsCollector()
+        assert collector.total_dropped == 0
+        collector.record_in_flight_loss("crash")
+        collector.record_send(
+            Message(kind="x", sender=1, recipient=2), dropped=True
+        )
+        assert collector.total_dropped == sum(
+            collector.dropped_by_reason.values()
+        ) == 2
+
+    def test_delay_histogram_accumulates(self):
+        collector = MetricsCollector()
+        collector.record_delay(1)
+        collector.record_delay(1, count=4)
+        collector.record_delay(3, count=2)
+        assert collector.delivery_delays == {1: 5, 3: 2}
+
+    def test_engine_splits_crash_and_dormant_reasons(self):
+        from typing import Sequence
+
+        from repro.sim import (
+            FaultPlan,
+            JoinPlan,
+            ProtocolNode,
+            SynchronousEngine,
+        )
+
+        class Pusher(ProtocolNode):
+            def on_round(self, round_no, inbox: Sequence):
+                for peer in sorted(self.known - {self.node_id}):
+                    self.send(peer, "ping")
+
+        # Every message is held 3 rounds (adversarial:2), so node 0's
+        # early pings are still in flight when node 1 crashes at round 3
+        # (in-flight crash loss) and when they reach node 3, which stays
+        # dormant until round 6 (dormant loss).  Lockstep would catch the
+        # crashed recipient at send time instead, tagged "fault".
+        engine = SynchronousEngine(
+            {0: {1, 3}, 1: {0}, 3: {0}},
+            Pusher,
+            delivery="adversarial:2",
+            fault_plan=FaultPlan(crash_rounds={1: 3}),
+            join_plan=JoinPlan(join_rounds={3: 6}),
+        )
+        for _ in range(5):
+            engine.step()
+        reasons = engine.metrics.dropped_by_reason
+        assert reasons.get("crash", 0) > 0
+        assert reasons.get("dormant", 0) > 0
+        result = engine.run(max_rounds=8)
+        assert result.dropped_by_reason == dict(engine.metrics.dropped_by_reason)
+        assert result.dropped_messages == sum(result.dropped_by_reason.values())
+
+
 class TestEngineInFlightLoss:
     def test_message_to_node_crashing_on_delivery_round_is_lost(self):
         from typing import Sequence

@@ -55,6 +55,32 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "quantum"])
 
+    def test_run_with_delivery_model(self, capsys):
+        code = main(
+            ["run", "--algorithm", "sublog", "--topology", "kout", "--n", "32",
+             "--seed", "2", "--delivery", "adversarial:2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed : True" in out
+        assert "adversarial:2" in out
+
+    def test_run_partition_prints_drop_breakdown(self, capsys):
+        code = main(
+            ["run", "--algorithm", "namedropper", "--topology", "kout",
+             "--n", "24", "--seed", "3", "--delivery", "partition:2-5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition=" in out
+
+    def test_bad_delivery_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "--algorithm", "sublog", "--topology", "kout",
+                 "--n", "24", "--delivery", "carrier-pigeon"]
+            )
+
 
 class TestExperiment:
     def test_experiment_writes_report(self, capsys, tmp_path, monkeypatch):
@@ -84,6 +110,19 @@ class TestSweep:
 
         assert len(load_results(out)) == 1
         assert load_metadata(out)["topology"] == "kout"
+
+    def test_sweep_with_delivery_records_metadata(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--algorithms", "namedropper", "--sizes", "16",
+             "--seeds", "1", "--delivery", "perlink:2", "--out", str(out)]
+        )
+        assert code == 0
+        from repro.bench.store import load_metadata, load_results
+
+        assert load_metadata(out)["delivery"] == "perlink:2"
+        results = load_results(out)
+        assert all(set(r.delivery_delays) <= {1, 2, 3} for r in results)
 
 
 class TestTraceAndSparkline:
