@@ -9,11 +9,13 @@ would show.
 from __future__ import annotations
 
 import statistics
+from typing import Optional
 
 from ...analysis.bounds import lower_bound_rounds
 from ...graphs.generators import make_topology
 from ..runner import index_results, sweep
 from ..seeds import Scale
+from ..sweeprun import SweepOptions
 from ..tables import ExperimentReport, Figure
 
 EXPERIMENT_ID = "F1"
@@ -23,7 +25,7 @@ ALGORITHMS = ("sublog", "sublogcoin", "namedropper", "flooding")
 SIZE_CAPS = {"flooding": 2048}
 
 
-def run(scale: Scale) -> ExperimentReport:
+def run(scale: Scale, options: Optional[SweepOptions] = None) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     results = sweep(
         ALGORITHMS,
@@ -32,6 +34,7 @@ def run(scale: Scale) -> ExperimentReport:
         scale.seeds,
         topology_params={"k": 3},
         size_caps=SIZE_CAPS,
+        **(options.sweep_kwargs() if options else {}),
     )
     indexed = index_results(results)
 

@@ -13,11 +13,13 @@ lower bound.  The story this figure tells:
 from __future__ import annotations
 
 import statistics
+from typing import Optional
 
 from ...analysis.bounds import lower_bound_rounds
 from ...graphs.generators import make_topology
 from ..runner import index_results, sweep
 from ..seeds import Scale
+from ..sweeprun import SweepOptions
 from ..tables import ExperimentReport, Table
 
 EXPERIMENT_ID = "F3"
@@ -37,7 +39,7 @@ TOPOLOGIES = (
 )
 
 
-def run(scale: Scale) -> ExperimentReport:
+def run(scale: Scale, options: Optional[SweepOptions] = None) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     n = scale.focus_n
     table = Table(
@@ -50,12 +52,16 @@ def run(scale: Scale) -> ExperimentReport:
         probe = make_topology(topology, n, seed=scale.seeds[0])
         diameter = probe.undirected_diameter(exact=n <= 1500)
         bound = lower_bound_rounds(probe, exact=n <= 1500)
+        # One sweep (and so one journal) per topology: each is its own
+        # case matrix, so a shared journal would fail the digest check.
+        stage = options.for_stage(topology) if options else None
         results = sweep(
             ALGORITHMS,
             topology,
             [n],
             scale.seeds,
             params_by_algorithm={"swamping": {"full": False}},
+            **(stage.sweep_kwargs() if stage else {}),
         )
         indexed = index_results(results)
         row: list[object] = [topology, diameter, bound]

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import math
 import statistics
+from typing import Optional
 
 from ...analysis.bounds import lower_bound_rounds
 from ...analysis.fitting import fit_all_models
 from ...graphs.generators import make_topology
 from ..runner import index_results, sweep
 from ..seeds import Scale
+from ..sweeprun import SweepOptions
 from ..tables import ExperimentReport, Table
 
 EXPERIMENT_ID = "T1"
@@ -38,7 +40,7 @@ ALGORITHMS = ("sublog", "sublogcoin", "namedropper", "swamping", "flooding", "rp
 SIZE_CAPS = {"swamping": 512, "rpj": 1024, "flooding": 2048}
 
 
-def run(scale: Scale) -> ExperimentReport:
+def run(scale: Scale, options: Optional[SweepOptions] = None) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     results = sweep(
         ALGORITHMS,
@@ -48,6 +50,7 @@ def run(scale: Scale) -> ExperimentReport:
         params_by_algorithm={"swamping": {"full": False}},
         topology_params={"k": 3},
         size_caps=SIZE_CAPS,
+        **(options.sweep_kwargs() if options else {}),
     )
     indexed = index_results(results)
 

@@ -15,10 +15,12 @@ final roster broadcast dominates; experiment T4 isolates it).
 from __future__ import annotations
 
 import statistics
+from typing import Optional
 
 from ...analysis.bounds import optimal_message_bound
 from ..runner import index_results, sweep
 from ..seeds import Scale
+from ..sweeprun import SweepOptions
 from ..tables import ExperimentReport, Table
 
 EXPERIMENT_ID = "T2"
@@ -28,7 +30,7 @@ ALGORITHMS = ("sublog", "namedropper", "swamping", "flooding")
 SIZE_CAPS = {"swamping": 512}
 
 
-def run(scale: Scale) -> ExperimentReport:
+def run(scale: Scale, options: Optional[SweepOptions] = None) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     results = sweep(
         ALGORITHMS,
@@ -38,6 +40,7 @@ def run(scale: Scale) -> ExperimentReport:
         params_by_algorithm={"swamping": {"full": False}},
         topology_params={"k": 3},
         size_caps=SIZE_CAPS,
+        **(options.sweep_kwargs() if options else {}),
     )
     indexed = index_results(results)
 

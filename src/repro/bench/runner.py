@@ -20,10 +20,12 @@ from that seed, and results return in case order — so ``workers=8`` and
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -73,6 +75,31 @@ def build_graph(case: Case) -> KnowledgeGraph:
     return make_topology(
         case.topology, case.n, seed=case.seed, **dict(case.topology_params)
     )
+
+
+def case_key(case: Case) -> str:
+    """Canonical identity string for one cell.
+
+    Sweep journals key their records on this, so it must be stable across
+    processes, platforms, and library versions: a plain JSON object with
+    sorted keys, delivery models flattened to their spec strings, and
+    non-JSON parameter values rendered via ``repr``.
+    """
+    delivery = case.delivery
+    if delivery is not None and not isinstance(delivery, str):
+        delivery = delivery.describe()
+    payload = {
+        "algorithm": case.algorithm,
+        "topology": case.topology,
+        "n": case.n,
+        "seed": case.seed,
+        "goal": case.goal,
+        "params": dict(case.params),
+        "topology_params": dict(case.topology_params),
+        "delivery": delivery,
+        "label": case.label,
+    }
+    return json.dumps(payload, sort_keys=True, default=repr, separators=(",", ":"))
 
 
 def sweep_seeds(master_seed: int, count: int) -> List[int]:
@@ -136,7 +163,7 @@ def _run_sweep_case(payload: Tuple[Case, bool, bool]) -> RunResult:
     )
 
 
-def sweep(
+def build_cases(
     algorithms: Sequence[str],
     topology: str,
     sizes: Sequence[int],
@@ -146,32 +173,17 @@ def sweep(
     params_by_algorithm: Optional[Mapping[str, Mapping[str, Any]]] = None,
     topology_params: Optional[Mapping[str, Any]] = None,
     size_caps: Optional[Mapping[str, int]] = None,
-    workers: Optional[int] = None,
-    enforce_legality: bool = False,
-    fast_path: bool = True,
     delivery: Optional[Union[str, DeliveryModel]] = None,
-) -> List[RunResult]:
-    """Run a full (algorithm × size × seed) matrix on one topology.
+) -> List[Case]:
+    """The (algorithm × size × seed) case matrix of a sweep, in run order.
 
-    ``size_caps`` bounds the n at which an expensive algorithm still runs
-    (e.g. classic swamping's pointer complexity is cubic; running it past
-    n ≈ 512 buys no insight for minutes of wall clock).  Capped cells are
-    simply absent from the result list; tables render them as ``-``.
-
-    ``workers`` > 1 distributes the cells over a process pool.  Each
-    worker rebuilds its cell's graph deterministically from the cell seed,
-    and the result list keeps case order, so the output is identical to a
-    serial sweep.
-
-    ``delivery`` applies one delivery-model spec to every cell (each run
-    binds its own per-run state, so sharing the spec is safe — including
-    across worker processes, where it travels by pickle inside the case).
+    One graph seed per (size, seed) cell, shared by all algorithms so
+    that every algorithm sees the *same* inputs.  Cells size-capped for
+    an algorithm are absent.
     """
     params_by_algorithm = params_by_algorithm or {}
     cases: List[Case] = []
     for n in sizes:
-        # One graph seed per (size, seed) cell, shared by all algorithms
-        # so that every algorithm sees the *same* inputs.
         for seed in seeds:
             for algorithm in algorithms:
                 cap = (size_caps or {}).get(algorithm)
@@ -189,6 +201,100 @@ def sweep(
                         delivery=delivery,
                     )
                 )
+    return cases
+
+
+def sweep(
+    algorithms: Sequence[str],
+    topology: str,
+    sizes: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    goal: str = "strong",
+    params_by_algorithm: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    topology_params: Optional[Mapping[str, Any]] = None,
+    size_caps: Optional[Mapping[str, int]] = None,
+    workers: Optional[int] = None,
+    enforce_legality: bool = False,
+    fast_path: bool = True,
+    delivery: Optional[Union[str, DeliveryModel]] = None,
+    retries: int = 0,
+    cell_timeout: Optional[float] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[Any], None]] = None,
+    on_failure: str = "raise",
+    _test_fault_hook: Optional[Callable[[Case, int], None]] = None,
+) -> List[RunResult]:
+    """Run a full (algorithm × size × seed) matrix on one topology.
+
+    ``size_caps`` bounds the n at which an expensive algorithm still runs
+    (e.g. classic swamping's pointer complexity is cubic; running it past
+    n ≈ 512 buys no insight for minutes of wall clock).  Capped cells are
+    simply absent from the result list; tables render them as ``-``.
+
+    ``workers`` > 1 distributes the cells over a process pool.  Each
+    worker rebuilds its cell's graph deterministically from the cell seed,
+    and the result list keeps case order, so the output is identical to a
+    serial sweep.
+
+    ``delivery`` applies one delivery-model spec to every cell (each run
+    binds its own per-run state, so sharing the spec is safe — including
+    across worker processes, where it travels by pickle inside the case).
+
+    The remaining keywords select the crash-safe execution layer
+    (:class:`repro.bench.sweeprun.SweepRunner`): ``retries`` re-attempts a
+    failing cell with bounded seed-deterministic backoff, ``cell_timeout``
+    bounds one cell's wall clock, ``journal``/``resume`` persist completed
+    cells to an append-only JSONL log and skip them on restart, and
+    ``progress`` receives a :class:`~repro.bench.sweeprun.SweepProgress`
+    event per finished cell.  ``on_failure`` decides what a cell that
+    still fails after its retries does to the sweep: ``"raise"`` (the
+    default) raises :class:`~repro.bench.sweeprun.SweepError` *after*
+    every other cell has run (and been journaled), ``"skip"`` leaves the
+    failed cells out of the result list.  With none of these engaged the
+    sweep runs on the plain in-process paths below, byte-for-byte as it
+    always has.
+    """
+    cases = build_cases(
+        algorithms,
+        topology,
+        sizes,
+        seeds,
+        goal=goal,
+        params_by_algorithm=params_by_algorithm,
+        topology_params=topology_params,
+        size_caps=size_caps,
+        delivery=delivery,
+    )
+
+    robust = (
+        retries
+        or cell_timeout is not None
+        or journal is not None
+        or resume
+        or progress is not None
+        or on_failure != "raise"
+        or _test_fault_hook is not None
+    )
+    if robust:
+        from .sweeprun import SweepError, SweepRunner
+
+        runner = SweepRunner(
+            workers=workers,
+            retries=retries,
+            cell_timeout=cell_timeout,
+            journal=journal,
+            resume=resume,
+            progress=progress,
+            enforce_legality=enforce_legality,
+            fast_path=fast_path,
+            fault_hook=_test_fault_hook,
+        )
+        report = runner.run(cases)
+        if report.failures and on_failure == "raise":
+            raise SweepError(report.failures)
+        return report.results
 
     if workers is not None and workers > 1 and len(cases) > 1:
         payloads = [(case, enforce_legality, fast_path) for case in cases]

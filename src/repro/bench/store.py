@@ -7,17 +7,35 @@ library versions) never needs to re-run the simulations.
 
 Round-level trajectories are included optionally: they dominate file size
 and most analyses only need the totals.
+
+Two on-disk formats live here:
+
+* **results files** (:func:`save_results` / :func:`load_results`) — one
+  JSON document written after a sweep finishes; the analysis-facing
+  artifact.
+* **sweep journals** (:func:`append_journal` / :func:`load_journal`) —
+  an append-only JSONL log written *while* a sweep runs, one record per
+  line, fsynced per append.  The first record is a manifest describing
+  the case matrix; each completed cell appends a ``result`` or
+  ``failure`` record, so an interrupted sweep loses at most the cell in
+  flight and :class:`repro.bench.sweeprun.SweepRunner` can resume by
+  skipping journaled cells.  See docs/OPS.md for the schema.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from ..sim.metrics import RoundStats, RunResult
 
 SCHEMA_VERSION = 1
+
+#: Schema version stamped into journal manifests; bump when record shapes
+#: change incompatibly.
+JOURNAL_SCHEMA = 1
 
 
 def result_to_dict(result: RunResult, include_rounds: bool = False) -> Dict[str, Any]:
@@ -120,3 +138,78 @@ def load_metadata(path: Union[str, Path]) -> Dict[str, Any]:
     """The metadata block of a results file."""
     document = json.loads(Path(path).read_text())
     return dict(document.get("metadata", {}))
+
+
+# -- sweep journals -----------------------------------------------------------------
+
+
+def append_journal(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append one record to a JSONL journal, durably.
+
+    The line is flushed and fsynced before returning, so a crash after
+    the call cannot lose the record; a crash *during* the call leaves at
+    most one torn trailing line, which :func:`read_journal` discards.
+    """
+    line = json.dumps(record, sort_keys=True, default=repr)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(line + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read every intact record of a journal.
+
+    A torn final line (the footprint of a crash mid-append) is silently
+    dropped; a torn line anywhere *else* means the file is not a journal
+    and raises.
+    """
+    records: List[Dict[str, Any]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                break  # torn tail write from an interrupted append
+            raise ValueError(
+                f"{path}: corrupt journal record on line {number + 1}"
+            ) from None
+    return records
+
+
+def load_journal(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+    """Fold a journal into ``(manifest, results_by_key, failures_by_key)``.
+
+    Later records win per cell key, and a ``result`` clears any earlier
+    ``failure`` for the same cell (a retry or resume that eventually
+    succeeded).  ``resume`` and ``complete`` marker records are skipped.
+    """
+    manifest: Dict[str, Any] = {}
+    results: Dict[str, Dict[str, Any]] = {}
+    failures: Dict[str, Dict[str, Any]] = {}
+    for record in read_journal(path):
+        record_type = record.get("type")
+        if record_type == "manifest":
+            if not manifest:
+                manifest = record
+        elif record_type == "result":
+            key = record["key"]
+            results[key] = record
+            failures.pop(key, None)
+        elif record_type == "failure":
+            failures[record["key"]] = record
+    if not manifest:
+        raise ValueError(f"{path}: no manifest record; not a sweep journal")
+    schema = manifest.get("schema")
+    if schema != JOURNAL_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported journal schema {schema!r} "
+            f"(expected {JOURNAL_SCHEMA})"
+        )
+    return manifest, results, failures

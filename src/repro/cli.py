@@ -130,6 +130,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     scale = bench_scale(args.scale)
     if args.experiment.lower() == "all":
         ids = list(EXPERIMENTS)
@@ -138,11 +140,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     out_dir: Optional[Path] = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    options = None
+    if args.workers or args.retries or args.cell_timeout:
+        from .bench.sweeprun import SweepOptions
+
+        options = SweepOptions(
+            workers=args.workers,
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+        )
     failures = 0
     for experiment_id in ids:
         module = get_experiment(experiment_id)
         started = time.perf_counter()
-        report = module.run(scale)
+        # Older drivers take only (scale); pass options where accepted.
+        if options is not None and "options" in inspect.signature(module.run).parameters:
+            report = module.run(scale, options=options)
+        else:
+            report = module.run(scale)
         elapsed = time.perf_counter() - started
         text = report.render()
         print(text)
@@ -153,21 +168,48 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .bench.runner import sweep
+    from .bench.runner import build_cases
     from .bench.store import save_results
+    from .bench.sweeprun import SweepProgress, SweepRunner
 
-    started = time.perf_counter()
-    results = sweep(
+    cases = build_cases(
         args.algorithms,
         args.topology,
         args.sizes,
         args.seeds,
-        workers=args.workers,
         delivery=args.delivery,
     )
+
+    def render(event: SweepProgress) -> None:
+        line = event.format()
+        if event.retried:
+            line += f"  [retries: {event.retried}]"
+        print(line, flush=True)
+
+    runner = SweepRunner(
+        workers=args.workers,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        journal=args.journal,
+        resume=args.resume,
+        progress=render if not args.quiet else None,
+        metadata={
+            "topology": args.topology,
+            "sizes": args.sizes,
+            "seeds": args.seeds,
+            "algorithms": args.algorithms,
+            "delivery": args.delivery,
+        },
+    )
+    started = time.perf_counter()
+    try:
+        report = runner.run(cases)
+    except (FileExistsError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
     count = save_results(
-        results,
+        report.results,
         args.out,
         metadata={
             "topology": args.topology,
@@ -178,10 +220,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "delivery": args.delivery,
         },
     )
-    incomplete = sum(1 for result in results if not result.completed)
-    print(f"saved {count} results to {args.out} in {elapsed:.1f}s")
+    summary = f"saved {count} results to {args.out} in {elapsed:.1f}s"
+    if report.resumed:
+        summary += f" ({report.resumed} resumed from journal)"
+    if report.retried:
+        summary += f" ({report.retried} retries)"
+    print(summary)
+    incomplete = sum(1 for result in report.results if not result.completed)
     if incomplete:
         print(f"warning: {incomplete} runs hit the round cap")
+    if report.failures:
+        print(f"error: {len(report.failures)} cell(s) failed:", file=sys.stderr)
+        for failure in report.failures:
+            print(
+                f"  {failure.case.display} n={failure.case.n} "
+                f"seed={failure.case.seed}: {failure.error_type}: "
+                f"{failure.error_message} (after {failure.attempts} attempts)",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -242,6 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("--scale", default=None, choices=tuple(SCALES))
     experiment_parser.add_argument("--out", default=None, help="directory for .txt reports")
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan experiment sweeps out over N worker processes",
+    )
+    experiment_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing sweep cell up to N times",
+    )
+    experiment_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per sweep cell attempt",
+    )
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
     sweep_parser = sub.add_parser(
@@ -269,6 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="delivery model applied to every cell (see 'run --delivery')",
     )
     sweep_parser.add_argument("--out", required=True, help="JSON results file")
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing cell up to N times (seed-deterministic backoff)",
+    )
+    sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt; a cell over budget "
+        "counts as failed (and retries, if --retries)",
+    )
+    sweep_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append completed cells to a JSONL journal as the sweep "
+        "runs, so an interrupted sweep can be resumed",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --journal (failing if the "
+        "journal belongs to a different case matrix)",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
 

@@ -101,7 +101,12 @@ def late_join_workload(
     for index in range(joiners):
         node = incumbents + index
         if join_window is not None:
-            join_rounds[node] = join_start + (index * join_window) // max(1, joiners)
+            # Divide by joiners - 1 so the joiners span the *closed*
+            # window [join_start, join_start + join_window]: the first
+            # lands on join_start, the last exactly on the end.
+            join_rounds[node] = join_start + (index * join_window) // max(
+                1, joiners - 1
+            )
         else:
             join_rounds[node] = join_start + index * join_stride
         count = min(contacts, len(present))

@@ -96,7 +96,7 @@ from .churn import JoinPlan
 from .errors import EngineStateError, ProtocolViolation, UnknownNodeError
 from .faults import FaultInjector, FaultPlan
 from .messages import Message, tally_by_kind
-from .metrics import DROP_CRASH, DROP_DORMANT, DROP_FAULT, MetricsCollector, RunResult
+from .metrics import DROP_CRASH, DROP_DORMANT, MetricsCollector, RunResult
 from .node import ProtocolNode
 from .observers import Observer
 from .rng import derive_rng
@@ -590,12 +590,13 @@ class SynchronousEngine:
                 raise UnknownNodeError(
                     f"node {message.sender} messaged non-existent node {message.recipient}"
                 )
-            dropped = self._faults.should_drop(message.sender, message.recipient)
-            self.metrics.record_send(message, dropped=dropped)
-            if dropped:
+            reason = self._faults.send_drop_reason(message.sender, message.recipient)
+            if reason is not None:
+                self.metrics.record_send(message, dropped=True, reason=reason)
                 if log is not None:
-                    log.append((message, 0, DROP_FAULT))
+                    log.append((message, 0, reason))
                 continue
+            self.metrics.record_send(message)
             delivery.submit(message, self.round_no)
 
         if profile:
@@ -657,7 +658,8 @@ class SynchronousEngine:
         log = self._delivery_log
         if sends:
             messages_by_kind, pointers_by_kind = tally_by_kind(sends)
-            dropped = 0
+            dropped_fault = 0
+            dropped_crash = 0
             faults = self._faults if self._faults.plan.has_faults else None
             id_set = self._id_set
             if faults is None and delivery.uniform_delay is not None:
@@ -689,15 +691,25 @@ class SynchronousEngine:
                         raise UnknownNodeError(
                             f"node {message.sender} messaged non-existent node {recipient}"
                         )
-                    if faults is not None and faults.should_drop(
-                        message.sender, recipient
-                    ):
-                        dropped += 1
-                        if log is not None:
-                            log.append((message, 0, DROP_FAULT))
-                        continue
+                    if faults is not None:
+                        reason = faults.send_drop_reason(message.sender, recipient)
+                        if reason is not None:
+                            if reason is DROP_CRASH:
+                                dropped_crash += 1
+                            else:
+                                dropped_fault += 1
+                            if log is not None:
+                                log.append((message, 0, reason))
+                            continue
                     delivery.submit(message, round_no)
-            self.metrics.record_batch(messages_by_kind, pointers_by_kind, dropped)
+            self.metrics.record_batch(
+                messages_by_kind,
+                pointers_by_kind,
+                dropped_fault,
+                dropped_by_reason=(
+                    {DROP_CRASH: dropped_crash} if dropped_crash else None
+                ),
+            )
 
         if profile:
             now = perf_counter()

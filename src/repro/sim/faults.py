@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Sequence
 
+from .metrics import DROP_CRASH, DROP_FAULT
 from .rng import derive_rng
 
 
@@ -85,20 +86,27 @@ class FaultInjector:
     def crashed_nodes(self) -> frozenset[int]:
         return frozenset(self._crashed)
 
-    def should_drop(self, sender: int, recipient: int) -> bool:
-        """Decide whether a message is lost in transit.
+    def send_drop_reason(self, sender: int, recipient: int) -> Optional[str]:
+        """Classify a send-time loss; ``None`` means the send goes through.
 
-        Messages to crashed machines are always lost; otherwise a fair
-        ``loss_rate`` coin is flipped.  The coin is consumed even for
-        messages that are dropped for other reasons, keeping the random
+        Messages to crashed machines are always lost (tagged
+        :data:`~repro.sim.metrics.DROP_CRASH` — the same physical loss as
+        a crash caught at delivery time); otherwise a fair ``loss_rate``
+        coin decides (:data:`~repro.sim.metrics.DROP_FAULT`).  The coin is
+        consumed even for messages lost to a crash, keeping the random
         stream aligned across comparative runs.
         """
         coin_drop = (
             self.plan.loss_rate > 0.0 and self._loss_rng.random() < self.plan.loss_rate
         )
         if recipient in self._crashed:
-            return True
-        return coin_drop
+            return DROP_CRASH
+        return DROP_FAULT if coin_drop else None
+
+    def should_drop(self, sender: int, recipient: int) -> bool:
+        """Whether a message is lost in transit (reason-blind wrapper
+        around :meth:`send_drop_reason`; consumes the same coin)."""
+        return self.send_drop_reason(sender, recipient) is not None
 
 
 def crash_fraction_plan(

@@ -17,10 +17,13 @@ from .messages import MESSAGE_HEADER_WORDS, Message
 
 #: Loss-reason tags used by :attr:`MetricsCollector.dropped_by_reason`.
 #: ``fault`` — dropped at send time by the loss-rate coin
-#: (:meth:`repro.sim.faults.FaultInjector.should_drop`); ``crash`` — the
-#: recipient crashed while the message was in flight; ``dormant`` — the
-#: recipient had not yet joined at delivery time; ``partition`` — vetoed
-#: by a :class:`repro.sim.transport.PartitionWindow` delivery model.
+#: (:meth:`repro.sim.faults.FaultInjector.send_drop_reason`); ``crash`` —
+#: the recipient had crashed, whether the loss was detected at send time
+#: (recipient already dead) or at delivery time (it died while the
+#: message was in flight) — the same physical loss, so it carries one
+#: tag; ``dormant`` — the recipient had not yet joined at delivery time;
+#: ``partition`` — vetoed by a
+#: :class:`repro.sim.transport.PartitionWindow` delivery model.
 DROP_FAULT = "fault"
 DROP_CRASH = "crash"
 DROP_DORMANT = "dormant"
@@ -29,7 +32,15 @@ DROP_PARTITION = "partition"
 
 @dataclass(frozen=True, slots=True)
 class RoundStats:
-    """Costs incurred during a single synchronous round."""
+    """Costs incurred during a single synchronous round.
+
+    ``messages`` counts the sends charged this round; ``dropped_messages``
+    counts the losses *charged* this round, which under delayed delivery
+    include in-flight losses of messages sent (and counted) in earlier
+    rounds.  The two streams reconcile only over the whole run, so
+    :attr:`delivered_messages` clamps at zero per round — use
+    ``RunResult.messages - RunResult.dropped_messages`` for run totals.
+    """
 
     round_no: int
     messages: int
@@ -38,7 +49,7 @@ class RoundStats:
 
     @property
     def delivered_messages(self) -> int:
-        return self.messages - self.dropped_messages
+        return max(0, self.messages - self.dropped_messages)
 
 
 class MetricsCollector:
@@ -61,8 +72,15 @@ class MetricsCollector:
         """All losses regardless of reason (the historical aggregate)."""
         return sum(self.dropped_by_reason.values())
 
-    def record_send(self, message: Message, dropped: bool = False) -> None:
-        """Charge one message (sent messages count even when dropped)."""
+    def record_send(
+        self, message: Message, dropped: bool = False, reason: str = DROP_FAULT
+    ) -> None:
+        """Charge one message (sent messages count even when dropped).
+
+        ``reason`` tags a send-time drop; the default ``fault`` covers the
+        loss coin, while a send to an already-crashed recipient passes
+        ``crash`` so the taxonomy matches the in-flight case.
+        """
         pointers = message.pointer_count
         self.total_messages += 1
         self.total_pointers += pointers
@@ -71,7 +89,7 @@ class MetricsCollector:
         self._round_messages += 1
         self._round_pointers += pointers
         if dropped:
-            self.dropped_by_reason[DROP_FAULT] += 1
+            self.dropped_by_reason[reason] += 1
             self._round_dropped += 1
 
     def record_batch(
@@ -79,6 +97,7 @@ class MetricsCollector:
         messages_by_kind: Mapping[str, int],
         pointers_by_kind: Mapping[str, int],
         dropped: int = 0,
+        dropped_by_reason: Optional[Mapping[str, int]] = None,
     ) -> None:
         """Charge a whole round's sends in one call.
 
@@ -88,6 +107,11 @@ class MetricsCollector:
         per round.  The resulting counters are identical: ``Counter.update``
         adds counts, and kinds present with a zero pointer tally still
         materialize their key, exactly as ``record_send`` does.
+
+        ``dropped`` charges send-time ``fault`` drops (the legacy single
+        channel); ``dropped_by_reason`` charges an explicit per-reason
+        split on top of it (the engine uses it to keep send-time crash
+        losses under ``crash``).
         """
         messages = sum(messages_by_kind.values())
         pointers = sum(pointers_by_kind.values())
@@ -100,6 +124,10 @@ class MetricsCollector:
         if dropped:
             self.dropped_by_reason[DROP_FAULT] += dropped
             self._round_dropped += dropped
+        if dropped_by_reason:
+            for reason, count in dropped_by_reason.items():
+                self.dropped_by_reason[reason] += count
+                self._round_dropped += count
 
     def record_in_flight_loss(self, reason: str = DROP_CRASH) -> None:
         """Charge a drop for a message lost after sending (recipient

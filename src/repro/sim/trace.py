@@ -75,10 +75,13 @@ class TraceObserver(Observer):
     Args:
         kinds: Record only these message kinds (``None`` = all).
         nodes: Record only messages touching these node ids (``None`` = all).
-        limit: Hard cap on stored events; recording stops (and
-            ``truncated`` is set) when reached, so tracing a large run by
-            accident cannot exhaust memory.  :attr:`events` (deliveries)
-            and :attr:`drops` (losses) each get their own ``limit``.
+        limit: Hard cap on stored events; recording stops when reached,
+            so tracing a large run by accident cannot exhaust memory.
+            :attr:`events` (deliveries) and :attr:`drops` (losses) each
+            get their own ``limit`` and their own truncation flag
+            (:attr:`truncated_events` / :attr:`truncated_drops`;
+            :attr:`truncated` is their OR), so a drop overflow is visible
+            even while deliveries are still under the cap.
     """
 
     wants_deliveries = True
@@ -96,13 +99,19 @@ class TraceObserver(Observer):
         self.limit = limit
         self.events: List[TraceEvent] = []
         self.drops: List[TraceEvent] = []
-        self.truncated = False
+        self.truncated_events = False
+        self.truncated_drops = False
 
-    def _wanted(self, event: TraceEvent) -> bool:
-        if self.kinds is not None and event.kind not in self.kinds:
+    @property
+    def truncated(self) -> bool:
+        """True when either sink overflowed its limit."""
+        return self.truncated_events or self.truncated_drops
+
+    def _wanted(self, kind: str, sender: int, recipient: int) -> bool:
+        if self.kinds is not None and kind not in self.kinds:
             return False
         if self.nodes is not None and not (
-            event.sender in self.nodes or event.recipient in self.nodes
+            sender in self.nodes or recipient in self.nodes
         ):
             return False
         return True
@@ -112,23 +121,28 @@ class TraceObserver(Observer):
         if log is None:
             return
         for message, delay, reason in log:
+            # Filter first: an event the filters reject never counts
+            # against the limit and never flags truncation.
+            if not self._wanted(message.kind, message.sender, message.recipient):
+                continue
             sink = self.events if reason is None else self.drops
             if len(sink) >= self.limit:
                 if reason is None:
-                    self.truncated = True
+                    self.truncated_events = True
+                else:
+                    self.truncated_drops = True
                 continue
-            event = TraceEvent(
-                round_no=round_no,
-                kind=message.kind,
-                sender=message.sender,
-                recipient=message.recipient,
-                pointers=message.pointer_count,
-                delay=delay,
-                dropped=reason,
+            sink.append(
+                TraceEvent(
+                    round_no=round_no,
+                    kind=message.kind,
+                    sender=message.sender,
+                    recipient=message.recipient,
+                    pointers=message.pointer_count,
+                    delay=delay,
+                    dropped=reason,
+                )
             )
-            if not self._wanted(event):
-                continue
-            sink.append(event)
 
     # -- queries ----------------------------------------------------------------
 
@@ -169,6 +183,8 @@ class TraceObserver(Observer):
             "trace_drops": len(self.drops),
             "trace_drops_by_reason": self.drops_by_reason(),
             "trace_truncated": self.truncated,
+            "trace_events_truncated": self.truncated_events,
+            "trace_drops_truncated": self.truncated_drops,
         }
 
 

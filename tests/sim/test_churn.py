@@ -43,8 +43,25 @@ class TestLateJoinWorkload:
         _, plan = late_join_workload(16, 8, seed=1, join_start=5, join_window=16)
         rounds = sorted(plan.join_rounds.values())
         assert rounds[0] == 5
-        assert rounds[-1] == 5 + (7 * 16) // 8  # last joiner inside the window
-        assert rounds[-1] <= 5 + 16
+        # The window is closed: the last joiner lands exactly on its end.
+        assert rounds[-1] == 5 + 16
+
+    def test_join_window_covers_the_documented_endpoint(self):
+        # Regression for the off-by-one divisor max(1, joiners): the last
+        # joiner must reach join_start + join_window, for any joiner count
+        # that fits distinct slots in the window.
+        for joiners in (2, 3, 5, 8, 17):
+            _, plan = late_join_workload(
+                8, joiners, seed=3, join_start=4, join_window=joiners + 3
+            )
+            rounds = sorted(plan.join_rounds.values())
+            assert rounds[0] == 4
+            assert rounds[-1] == 4 + joiners + 3
+            assert all(4 <= r <= 4 + joiners + 3 for r in rounds)
+
+    def test_join_window_single_joiner_lands_on_start(self):
+        _, plan = late_join_workload(8, 1, seed=1, join_start=6, join_window=10)
+        assert list(plan.join_rounds.values()) == [6]
 
     def test_join_window_denser_than_stride_for_many_joiners(self):
         _, windowed = late_join_workload(16, 100, seed=1, join_window=20)

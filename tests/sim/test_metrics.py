@@ -51,6 +51,54 @@ class TestMetricsCollector:
         assert stats.dropped_messages == 1
         assert stats.delivered_messages == 1
 
+    def test_delivered_messages_clamps_under_delayed_delivery(self):
+        # Under non-lockstep delivery an in-flight loss is charged to the
+        # delivery round while its send was counted rounds earlier, so a
+        # quiet round can see more drops than sends.  The per-round view
+        # clamps at zero; totals reconcile at the run level.
+        from repro.sim.metrics import RoundStats
+
+        assert RoundStats(5, 0, 0, 3).delivered_messages == 0
+        assert RoundStats(5, 2, 0, 3).delivered_messages == 0
+        assert RoundStats(5, 4, 0, 3).delivered_messages == 1
+
+        collector = MetricsCollector()
+        collector.record_send(_msg())  # round 1: one send, delivered later
+        first = collector.close_round(1)
+        collector.record_in_flight_loss()  # round 2: the loss lands here
+        second = collector.close_round(2)
+        assert first.delivered_messages == 1
+        assert second.delivered_messages == 0  # raw difference would be -1
+        assert collector.total_messages - collector.total_dropped == 0
+
+    def test_engine_round_stats_never_negative_under_adversarial_delivery(self):
+        from typing import Sequence
+
+        from repro.sim import FaultPlan, ProtocolNode, SynchronousEngine
+
+        class Pusher(ProtocolNode):
+            def on_round(self, round_no, inbox: Sequence):
+                if round_no <= 2:
+                    for peer in sorted(self.known - {self.node_id}):
+                        self.send(peer, "ping")
+
+        # Sends stop after round 2, but adversarial:3 holds everything 4
+        # rounds; node 1 crashes at round 4, so rounds with zero sends
+        # absorb in-flight crash losses.
+        engine = SynchronousEngine(
+            {0: {1}, 1: {0}, 2: {1}},
+            Pusher,
+            delivery="adversarial:3",
+            fault_plan=FaultPlan(crash_rounds={1: 4}),
+        )
+        for _ in range(7):
+            engine.step()
+        stats = engine.metrics.round_stats
+        assert any(s.dropped_messages > s.messages for s in stats)
+        assert all(s.delivered_messages >= 0 for s in stats)
+        delivered_total = engine.metrics.total_messages - engine.metrics.total_dropped
+        assert delivered_total >= 0
+
 
 class TestRunResult:
     def _result(self, **overrides) -> RunResult:

@@ -111,6 +111,67 @@ class TestDropReasons:
         assert result.dropped_messages == sum(result.dropped_by_reason.values())
 
 
+class TestSendTimeCrashAttribution:
+    """A send to an already-crashed recipient is the same physical loss
+    as an in-flight crash and must carry the same ``crash`` tag — not
+    ``fault``, which is reserved for the loss coin."""
+
+    def _pusher(self):
+        from typing import Sequence
+
+        from repro.sim import ProtocolNode
+
+        class Pusher(ProtocolNode):
+            def on_round(self, round_no, inbox: Sequence):
+                for peer in sorted(self.known - {self.node_id}):
+                    self.send(peer, "ping")
+
+        return Pusher
+
+    def _run(self, fast_path: bool, loss_rate: float = 0.0):
+        from repro.sim import FaultPlan, SynchronousEngine
+
+        engine = SynchronousEngine(
+            {0: {1}, 1: {0}, 2: {1}},
+            self._pusher(),
+            fault_plan=FaultPlan(loss_rate=loss_rate, crash_rounds={1: 2}, seed=3),
+            fast_path=fast_path,
+        )
+        for _ in range(4):
+            engine.step()
+        return engine
+
+    def test_send_to_crashed_recipient_tagged_crash(self):
+        for fast_path in (False, True):
+            engine = self._run(fast_path)
+            reasons = dict(engine.metrics.dropped_by_reason)
+            # Node 1 crashes at round 2; every later send targeting it is
+            # caught at send time.  No loss coin runs, so no fault drops.
+            assert reasons.get("crash", 0) > 0, fast_path
+            assert "fault" not in reasons, fast_path
+
+    def test_loss_coin_stream_survives_the_split(self):
+        # With a loss rate active, the coin is consumed for crash-bound
+        # sends too; both engine paths must agree on the whole split.
+        legacy = self._run(False, loss_rate=0.4)
+        fast = self._run(True, loss_rate=0.4)
+        assert dict(legacy.metrics.dropped_by_reason) == dict(
+            fast.metrics.dropped_by_reason
+        )
+        assert legacy.metrics.total_messages == fast.metrics.total_messages
+
+    def test_injector_send_drop_reason_split(self):
+        from repro.sim.faults import FaultInjector, FaultPlan
+        from repro.sim.metrics import DROP_CRASH, DROP_FAULT
+
+        injector = FaultInjector(FaultPlan(loss_rate=1.0, crash_rounds={9: 1}), 0)
+        injector.apply_crashes(1)
+        assert injector.send_drop_reason(1, 9) == DROP_CRASH
+        assert injector.send_drop_reason(1, 2) == DROP_FAULT
+        clean = FaultInjector(FaultPlan(), 0)
+        assert clean.send_drop_reason(1, 2) is None
+
+
 class TestEngineInFlightLoss:
     def test_message_to_node_crashing_on_delivery_round_is_lost(self):
         from typing import Sequence

@@ -66,6 +66,38 @@ class TestTraceObserver:
         observer, result = traced_run()
         assert result.extra["trace_events"] == len(observer.events)
         assert not result.extra["trace_truncated"]
+        assert not result.extra["trace_events_truncated"]
+        assert not result.extra["trace_drops_truncated"]
+
+    def test_drops_sink_truncation_is_visible(self):
+        # Regression: drop-sink overflow used to be silent (only the
+        # events sink set ``truncated``).  Force plenty of send-time
+        # drops with a heavy loss rate and a tiny limit.
+        from repro.sim import FaultPlan
+
+        observer = TraceObserver(limit=5)
+        graph = make_topology("kout", 16, seed=1, k=2)
+        result = repro.discover(
+            graph,
+            algorithm="sublog",
+            seed=1,
+            fault_plan=FaultPlan(loss_rate=0.4, seed=1),
+            observers=[observer],
+            resilient=True,
+            stagnation_phases=4,
+        )
+        assert result.dropped_messages > 5
+        assert len(observer.drops) == 5
+        assert observer.truncated_drops
+        assert result.extra["trace_drops_truncated"]
+        assert observer.truncated  # the OR view covers both sinks
+
+    def test_filtered_events_do_not_flag_truncation(self):
+        # Events rejected by the kind filter never count against the
+        # limit, so a filtered trace under the cap stays un-truncated.
+        observer, _ = traced_run(kinds=("invite",), limit=100_000)
+        assert not observer.truncated_events
+        assert not observer.truncated_drops
 
 
 class TestJsonlRoundTrip:
