@@ -20,6 +20,7 @@ from typing import Any, Iterable, Mapping, Optional, Union
 
 from .algorithms import ALGORITHMS, algorithm_names, get_algorithm
 from .core import ClusterSizeObserver, SubLogConfig, SubLogNode
+from .oracle import InvariantOracle, OracleViolation, ScheduleScript
 from .graphs import (
     ID_SPACES,
     TOPOLOGIES,
@@ -64,17 +65,20 @@ __all__ = [
     "ClusterSizeObserver",
     "DeliveryModel",
     "FaultPlan",
+    "InvariantOracle",
     "JoinPlan",
     "KnowledgeGraph",
     "KnowledgeSizeObserver",
     "Lockstep",
     "Message",
     "Observer",
+    "OracleViolation",
     "PartitionWindow",
     "PerLinkLatency",
     "ProtocolNode",
     "ProtocolViolation",
     "RunResult",
+    "ScheduleScript",
     "SubLogConfig",
     "SubLogNode",
     "SynchronousEngine",

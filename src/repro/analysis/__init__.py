@@ -30,7 +30,10 @@ from .invariants import (
     BallContainmentObserver,
     InvariantViolation,
     MonotonicityObserver,
+    closure_deficit,
+    is_knowledge_closed,
     verify_view_consistency,
+    weak_closure_witnesses,
 )
 from .stats import Aggregate, aggregate, aggregate_results, completion_rate, group_by
 
@@ -47,8 +50,10 @@ __all__ = [
     "aggregate",
     "aggregate_results",
     "best_model",
+    "closure_deficit",
     "compare_models",
     "completion_rate",
+    "is_knowledge_closed",
     "describe_fits",
     "fit_all_models",
     "fit_model",
@@ -64,4 +69,5 @@ __all__ = [
     "sublog_phase_bound",
     "swamping_round_bound",
     "verify_view_consistency",
+    "weak_closure_witnesses",
 ]

@@ -17,7 +17,17 @@ They record violations and can raise immediately (``strict=True``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..graphs.knowledge import KnowledgeGraph
 from ..sim.observers import Observer
@@ -28,6 +38,73 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class InvariantViolation(AssertionError):
     """An invariant checker observed an impossible state."""
+
+
+# -- knowledge-closure predicates ---------------------------------------------------
+#
+# Pure functions over plain ``{node: known_ids}`` mappings, independent of
+# any engine.  They define what "discovery finished" *means*, so the
+# simulation oracle (``repro.oracle``) recomputes goal predicates through
+# them rather than trusting the engine's incremental counters.
+
+
+def closure_deficit(
+    knowledge: Mapping[int, Collection[int]],
+    universe: Optional[Iterable[int]] = None,
+    holders: Optional[Iterable[int]] = None,
+) -> List[Tuple[int, int]]:
+    """Pairs ``(holder, target)`` still missing from full closure.
+
+    A knowledge state is *closed* (strong discovery) when every holder
+    knows every target.  ``universe`` is the target set each holder must
+    know (default: the mapping's keys); ``holders`` is the set of nodes
+    required to be complete (default: the universe).  Self-knowledge is
+    not required: ``(v, v)`` never appears in the deficit.
+
+    The returned pairs are sorted, so tests can assert on them exactly.
+    """
+    targets = frozenset(universe if universe is not None else knowledge)
+    required = frozenset(holders if holders is not None else targets)
+    missing: List[Tuple[int, int]] = []
+    for holder in sorted(required):
+        known = knowledge.get(holder, ())
+        for target in sorted(targets - frozenset(known)):
+            if target != holder:
+                missing.append((holder, target))
+    return missing
+
+
+def is_knowledge_closed(
+    knowledge: Mapping[int, Collection[int]],
+    universe: Optional[Iterable[int]] = None,
+    holders: Optional[Iterable[int]] = None,
+) -> bool:
+    """Whether :func:`closure_deficit` is empty (strong discovery holds)."""
+    return not closure_deficit(knowledge, universe=universe, holders=holders)
+
+
+def weak_closure_witnesses(
+    knowledge: Mapping[int, Collection[int]],
+) -> List[int]:
+    """Nodes satisfying the weak-discovery condition, sorted.
+
+    A witness knows every node *and* is known by every node.  Weak
+    discovery holds iff at least one witness exists.
+    """
+    universe = frozenset(knowledge)
+    complete = [
+        node
+        for node in sorted(universe)
+        if not (universe - frozenset(knowledge[node]) - {node})
+    ]
+    witnesses: List[int] = []
+    for candidate in complete:
+        if all(
+            candidate in knowledge[other] or other == candidate
+            for other in universe
+        ):
+            witnesses.append(candidate)
+    return witnesses
 
 
 class BallContainmentObserver(Observer):

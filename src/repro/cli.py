@@ -11,6 +11,13 @@ Sub-commands:
 
       python -m repro experiment T1 --scale small
       python -m repro experiment all --scale full --out results/
+
+* ``fuzz`` — run seeded adversarial schedules under the invariant
+  oracle (see :mod:`repro.oracle`), shrinking any failure to a minimal
+  replayable script::
+
+      python -m repro fuzz --cases 50 --seed 7 --out fuzz.jsonl
+      python -m repro fuzz --replay violation.json
 """
 
 from __future__ import annotations
@@ -242,6 +249,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .oracle.fuzzer import FuzzCase, fuzz, replay
+    from .oracle.invariants import OracleViolation
+    from .oracle.script import ScheduleScript
+
+    if args.replay:
+        text = Path(args.replay).read_text() if Path(args.replay).is_file() else args.replay
+        script = ScheduleScript.from_dict(json.loads(text))
+        print(f"replaying {script.describe()}")
+        try:
+            result = replay(script)
+        except OracleViolation as violation:
+            print(f"violation reproduced: {violation}")
+            return 1
+        print(
+            f"clean: completed={result.completed} rounds={result.rounds} "
+            f"messages={result.messages:,}"
+        )
+        return 0
+
+    def render(case: FuzzCase) -> None:
+        print(f"case {case.index:>4}  {case.script.describe()}  -> {case.status}")
+
+    started = time.perf_counter()
+    report = fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        algorithms=args.algorithms,
+        max_n=args.max_n,
+        differential=not args.no_differential,
+        reduction=not args.no_differential,
+        shrink_failures=not args.no_shrink,
+        time_budget=args.time_budget,
+        report_path=args.out,
+        progress=None if args.quiet else render,
+    )
+    elapsed = time.perf_counter() - started
+    summary = (
+        f"fuzz: {len(report.cases)} cases, {len(report.failures)} "
+        f"failure(s) in {elapsed:.1f}s (seed={args.seed})"
+    )
+    if args.out:
+        summary += f" -> {args.out}"
+    print(summary)
+    for case in report.failures:
+        print(f"\n[{case.status}] case {case.index}: {case.detail}", file=sys.stderr)
+        reproduction = case.shrunk if case.shrunk is not None else case.script
+        print(f"  replay: {reproduction.to_json()}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -376,6 +436,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="fuzz seeded adversarial schedules under the invariant oracle",
+    )
+    fuzz_parser.add_argument(
+        "--cases", type=int, default=50, help="number of fuzz cases to run"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="fuzz master seed")
+    fuzz_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=algorithm_names(),
+        help="restrict fuzzing to these algorithms (default: all registered)",
+    )
+    fuzz_parser.add_argument(
+        "--max-n", type=int, default=24, help="largest fuzzed machine count"
+    )
+    fuzz_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new cases after this much wall clock",
+    )
+    fuzz_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="append a JSONL report (manifest + one record per case)",
+    )
+    fuzz_parser.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the fast-vs-legacy and lockstep-reduction diffs",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing scripts as generated, without minimizing",
+    )
+    fuzz_parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="SCRIPT",
+        help="replay one script (a JSON file or literal JSON) under the "
+        "strict oracle instead of fuzzing",
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,382 @@
+"""The online invariant oracle.
+
+:class:`InvariantOracle` is an observer that re-derives, every round,
+what the engine's state *must* look like if the simulation is sound, and
+raises a structured :class:`OracleViolation` the moment reality differs.
+The checked catalog (see docs/MODEL.md section 6):
+
+``monotonicity``
+    Ground-truth knowledge sets never shrink.
+``derivability``
+    A node's new knowledge this round is a subset of what its delivered
+    messages could teach — carried ids plus the sender, intersected with
+    the real id universe.  Checked as a subset (not equality) because
+    with legality enforcement off the two engine paths intentionally
+    differ on smuggled ids (see the engine module docstring).
+``completeness``
+    With legality enforcement *on*, delivery is lossless learning: every
+    real id a delivered message carried (and its sender) is known to the
+    recipient afterwards.
+``conservation``
+    ``total_messages == delivered + in_flight + Σ dropped_by_reason`` —
+    every charged send is delivered, still in flight, or attributed to
+    exactly one drop reason.
+``delay-accounting``
+    The delivery-delay histogram counts exactly the sends that were
+    actually submitted (sent minus send-time drops), and every logged
+    delay is consistent with a send round inside ``[1, current_round]``.
+``silence``
+    Every delivered-or-dropped message was sent by a node that was alive
+    and joined at its send round: crashed and dormant machines stay
+    silent.
+``round-accounting``
+    Per-round stats sum to the run totals, and the per-kind counters sum
+    to the aggregate message/pointer counts.
+``closure``
+    At the end of the run, the engine's ``completed`` verdict equals the
+    goal predicate recomputed from scratch over the ground-truth
+    knowledge via the pure closure functions of
+    :mod:`repro.analysis.invariants`.
+
+Violations carry the round, the node (when one is implicated), and the
+replayable :class:`~repro.oracle.script.ScheduleScript` when the run was
+built from one, so every failure is a one-line reproduction recipe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Set
+
+from ..analysis.invariants import (
+    InvariantViolation,
+    closure_deficit,
+    weak_closure_witnesses,
+)
+from ..sim.metrics import DROP_CRASH, DROP_DORMANT, DROP_FAULT, DROP_PARTITION
+from ..sim.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import SynchronousEngine
+    from .script import ScheduleScript
+
+#: Drop reasons the engine/transport stack is allowed to emit.
+KNOWN_DROP_REASONS = frozenset(
+    (DROP_FAULT, DROP_CRASH, DROP_DORMANT, DROP_PARTITION)
+)
+
+
+class OracleViolation(InvariantViolation):
+    """A structured per-round invariant failure.
+
+    Attributes:
+        invariant: Name of the violated invariant (catalog above).
+        round_no: Round at which the violation was observed (``None`` for
+            end-of-run checks before any round ran).
+        node: Implicated machine id, when one exists.
+        detail: Human-readable description of the mismatch.
+        script: The replayable script of the failing run, when known.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        round_no: Optional[int] = None,
+        node: Optional[int] = None,
+        script: Optional["ScheduleScript"] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.round_no = round_no
+        self.node = node
+        self.script = script
+        where = f"round {round_no}" if round_no is not None else "end of run"
+        if node is not None:
+            where += f", node {node}"
+        message = f"[{invariant}] {where}: {detail}"
+        if script is not None:
+            message += f" | replay: {script.to_json()}"
+        super().__init__(message)
+
+
+class InvariantOracle(Observer):
+    """Validates the invariant catalog online, round by round.
+
+    Attach via ``observers=[oracle]`` (or let
+    :func:`repro.oracle.fuzzer.run_script` do it).  With ``strict=True``
+    (the default) the first violation raises out of the run; otherwise
+    violations accumulate in :attr:`violations` and surface through
+    ``RunResult.extra["oracle"]``.
+    """
+
+    wants_deliveries = True
+
+    def __init__(
+        self,
+        script: Optional["ScheduleScript"] = None,
+        strict: bool = True,
+    ) -> None:
+        self.script = script
+        self.strict = strict
+        self.violations: List[OracleViolation] = []
+        self.rounds_checked = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def on_setup(self, engine: "SynchronousEngine") -> None:
+        self._universe: FrozenSet[int] = frozenset(engine.node_ids)
+        self._prev: Dict[int, Set[int]] = {
+            node: set(known) for node, known in engine.knowledge.items()
+        }
+        self._delivered_cum = 0
+        self._send_drops_cum = 0
+        self._messages_cum = 0
+        self._pointers_cum = 0
+        self._dropped_cum = 0
+
+    def _fail(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        round_no: Optional[int] = None,
+        node: Optional[int] = None,
+    ) -> None:
+        violation = OracleViolation(
+            invariant, detail, round_no=round_no, node=node, script=self.script
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+    def on_round_end(self, engine: "SynchronousEngine", round_no: int) -> None:
+        log = engine._delivery_log
+        if log is None:  # pragma: no cover - defensive
+            self._fail(
+                "delivery-log",
+                "engine did not materialize a delivery log for the oracle",
+                round_no=round_no,
+            )
+            return
+        allowed = self._check_deliveries(engine, round_no, log)
+        self._check_knowledge(engine, round_no, allowed)
+        self._check_conservation(engine, round_no)
+        self._check_round_accounting(engine, round_no)
+        self.rounds_checked += 1
+
+    def on_finish(self, engine: "SynchronousEngine", completed: bool) -> None:
+        self._check_closure(engine, completed)
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "oracle": {
+                "rounds_checked": self.rounds_checked,
+                "violations": [str(violation) for violation in self.violations],
+            }
+        }
+
+    # -- per-round checks ---------------------------------------------------------
+
+    def _check_deliveries(
+        self, engine: "SynchronousEngine", round_no: int, log: list
+    ) -> Dict[int, Set[int]]:
+        """Validate the round's delivery log; return what each recipient
+        was legitimately taught (``{recipient: ids ∪ {sender}}``)."""
+        crashed = engine._faults.crashed_map
+        join_rounds = engine._joins.join_rounds
+        deliver_round = round_no + 1
+        allowed: Dict[int, Set[int]] = {}
+        delivered = 0
+        send_drops = 0
+        for message, delay, reason in log:
+            if reason is not None and reason not in KNOWN_DROP_REASONS:
+                self._fail(
+                    "delay-accounting",
+                    f"unknown drop reason {reason!r}",
+                    round_no=round_no,
+                )
+            if delay == 0:
+                # Send-time drop, charged in the sending round itself.
+                send_round = round_no
+                send_drops += 1
+                if reason is None:
+                    self._fail(
+                        "delay-accounting",
+                        "delivery log entry with delay 0 but no drop reason",
+                        round_no=round_no,
+                    )
+            else:
+                # Due (delivered or lost in flight) at round_no + 1.
+                send_round = deliver_round - delay
+                if not 1 <= send_round <= round_no:
+                    self._fail(
+                        "delay-accounting",
+                        f"delay {delay} implies impossible send round "
+                        f"{send_round}",
+                        round_no=round_no,
+                        node=message.sender,
+                    )
+            crash_round = crashed.get(message.sender)
+            if crash_round is not None and send_round >= crash_round:
+                self._fail(
+                    "silence",
+                    f"message sent in round {send_round} by node crashed "
+                    f"at round {crash_round}",
+                    round_no=round_no,
+                    node=message.sender,
+                )
+            join_round = join_rounds.get(message.sender)
+            if join_round is not None and send_round < join_round:
+                self._fail(
+                    "silence",
+                    f"message sent in round {send_round} by node dormant "
+                    f"until round {join_round}",
+                    round_no=round_no,
+                    node=message.sender,
+                )
+            if reason is None and delay > 0:
+                delivered += 1
+                taught = allowed.get(message.recipient)
+                if taught is None:
+                    taught = allowed[message.recipient] = set()
+                taught.update(message.ids)
+                taught.add(message.sender)
+        self._delivered_cum += delivered
+        self._send_drops_cum += send_drops
+        return allowed
+
+    def _check_knowledge(
+        self,
+        engine: "SynchronousEngine",
+        round_no: int,
+        allowed: Dict[int, Set[int]],
+    ) -> None:
+        knowledge = engine.knowledge
+        universe = self._universe
+        enforce = engine.enforce_legality
+        previous = self._prev
+        for node in engine.node_ids:
+            now = knowledge[node]
+            prev = previous[node]
+            if not prev <= now:
+                lost = sorted(prev - now)[:5]
+                self._fail(
+                    "monotonicity",
+                    f"knowledge shrank (lost {lost})",
+                    round_no=round_no,
+                    node=node,
+                )
+            new = now - prev
+            if new:
+                taught = allowed.get(node, ())
+                underived = new - (set(taught) & universe)
+                if underived:
+                    self._fail(
+                        "derivability",
+                        f"learned {sorted(underived)[:5]} not derivable "
+                        "from this round's deliveries",
+                        round_no=round_no,
+                        node=node,
+                    )
+            if enforce:
+                taught = allowed.get(node)
+                if taught:
+                    missing = (taught & universe) - now
+                    if missing:
+                        self._fail(
+                            "completeness",
+                            f"delivered ids {sorted(missing)[:5]} were "
+                            "not learned",
+                            round_no=round_no,
+                            node=node,
+                        )
+            previous[node] = set(now)
+
+    def _check_conservation(
+        self, engine: "SynchronousEngine", round_no: int
+    ) -> None:
+        metrics = engine.metrics
+        in_flight = engine.delivery.in_flight()
+        dropped = metrics.total_dropped
+        sent = metrics.total_messages
+        if sent != self._delivered_cum + in_flight + dropped:
+            self._fail(
+                "conservation",
+                f"sent {sent} != delivered {self._delivered_cum} + "
+                f"in-flight {in_flight} + dropped {dropped}",
+                round_no=round_no,
+            )
+        scheduled = sum(metrics.delivery_delays.values())
+        submitted = sent - self._send_drops_cum
+        if scheduled != submitted:
+            self._fail(
+                "delay-accounting",
+                f"delay histogram holds {scheduled} messages but "
+                f"{submitted} were submitted",
+                round_no=round_no,
+            )
+
+    def _check_round_accounting(
+        self, engine: "SynchronousEngine", round_no: int
+    ) -> None:
+        metrics = engine.metrics
+        stats = metrics.round_stats[-1]
+        if stats.round_no != round_no:
+            self._fail(
+                "round-accounting",
+                f"latest round stats are for round {stats.round_no}",
+                round_no=round_no,
+            )
+        self._messages_cum += stats.messages
+        self._pointers_cum += stats.pointers
+        self._dropped_cum += stats.dropped_messages
+        mismatches = []
+        if self._messages_cum != metrics.total_messages:
+            mismatches.append(
+                f"messages {self._messages_cum} != {metrics.total_messages}"
+            )
+        if self._pointers_cum != metrics.total_pointers:
+            mismatches.append(
+                f"pointers {self._pointers_cum} != {metrics.total_pointers}"
+            )
+        if self._dropped_cum != metrics.total_dropped:
+            mismatches.append(
+                f"drops {self._dropped_cum} != {metrics.total_dropped}"
+            )
+        if sum(metrics.messages_by_kind.values()) != metrics.total_messages:
+            mismatches.append("per-kind message counts do not sum to total")
+        if sum(metrics.pointers_by_kind.values()) != metrics.total_pointers:
+            mismatches.append("per-kind pointer counts do not sum to total")
+        if mismatches:
+            self._fail(
+                "round-accounting",
+                "; ".join(mismatches),
+                round_no=round_no,
+            )
+
+    # -- end-of-run checks --------------------------------------------------------
+
+    def _check_closure(
+        self, engine: "SynchronousEngine", completed: bool
+    ) -> None:
+        goal = engine.goal
+        if not isinstance(goal, str):
+            return  # custom predicates have no recomputable ground truth
+        knowledge = engine.knowledge
+        if goal == "strong":
+            holds = not closure_deficit(knowledge)
+        elif goal == "weak":
+            holds = bool(weak_closure_witnesses(knowledge))
+        elif goal == "strong_alive":
+            alive = engine.alive_nodes
+            holds = not closure_deficit(knowledge, universe=alive, holders=alive)
+        else:  # pragma: no cover - engine rejects unknown goals earlier
+            return
+        if completed != holds:
+            self._fail(
+                "closure",
+                f"engine reported completed={completed} but goal "
+                f"{goal!r} recomputed from ground truth is {holds}",
+                round_no=engine.round_no,
+            )

@@ -73,6 +73,7 @@ See docs/PERF.md for the measured effect of each of these changes.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from operator import attrgetter
 from time import perf_counter
@@ -903,6 +904,43 @@ class SynchronousEngine:
 
     def is_strongly_complete(self) -> bool:
         return self._complete_nodes == self.n
+
+    def goal_reached(self) -> bool:
+        """Whether the run's goal predicate holds right now.
+
+        A read-only probe of the same predicate :meth:`run` consults after
+        every step; external drivers (the differential runner, manual
+        ``step()`` loops) use it to stop without calling :meth:`run`.
+        """
+        return bool(self._goal_fn(self))
+
+    def knowledge_digest(self) -> str:
+        """Canonical SHA-256 digest of the ground-truth knowledge state.
+
+        Both execution paths digest the same byte string: each machine's
+        knowledge rendered as a little-endian dense bitmask (bit ``i`` =
+        ``node_ids[i]``), concatenated in sorted-id order — so a fast-path
+        engine and a legacy engine in the same state produce the same
+        digest, which is what the differential runner diffs round by
+        round.  Ids naming no simulated machine (reachable only on the
+        legacy path with legality enforcement off) are excluded, keeping
+        the digest well-defined across paths.
+        """
+        digest = hashlib.sha256()
+        nbytes = (self.n + 7) >> 3
+        if self.fast_path:
+            for mask in self._kmasks:
+                digest.update(mask.to_bytes(nbytes, "little"))
+        else:
+            index = self._index
+            for node in self.node_ids:
+                buf = bytearray(nbytes)
+                for target in self._ksets[node]:
+                    bit = index.get(target)
+                    if bit is not None:
+                        buf[bit >> 3] |= 1 << (bit & 7)
+                digest.update(bytes(buf))
+        return digest.hexdigest()
 
     def _build_result(self, completed: bool) -> RunResult:
         extra: Dict[str, Any] = {}

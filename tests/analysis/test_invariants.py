@@ -11,10 +11,78 @@ from repro.analysis.invariants import (
     BallContainmentObserver,
     InvariantViolation,
     MonotonicityObserver,
+    closure_deficit,
+    is_knowledge_closed,
     verify_view_consistency,
+    weak_closure_witnesses,
 )
 from repro.graphs import make_topology
 from repro.sim import Message, ProtocolNode, SynchronousEngine
+
+
+class TestClosurePredicates:
+    """The closure functions on hand-built knowledge states, no engine."""
+
+    CLOSED = {0: {0, 1, 2}, 1: {0, 1, 2}, 2: {0, 1, 2}}
+    # Path knowledge 0 → 1 → 2: nobody knows everyone.
+    OPEN = {0: {0, 1}, 1: {1, 2}, 2: {2}}
+    # Everything known except that 2 never learned 0.
+    ONE_SHORT = {0: {0, 1, 2}, 1: {0, 1, 2}, 2: {1, 2}}
+
+    def test_closed_state_has_empty_deficit(self):
+        assert closure_deficit(self.CLOSED) == []
+        assert is_knowledge_closed(self.CLOSED)
+
+    def test_self_knowledge_not_required(self):
+        # Same closed state but nobody lists themselves.
+        knowledge = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        assert is_knowledge_closed(knowledge)
+
+    def test_open_state_lists_every_missing_pair(self):
+        assert closure_deficit(self.OPEN) == [(0, 2), (1, 0), (2, 0), (2, 1)]
+        assert not is_knowledge_closed(self.OPEN)
+
+    def test_one_edge_short(self):
+        assert closure_deficit(self.ONE_SHORT) == [(2, 0)]
+        assert not is_knowledge_closed(self.ONE_SHORT)
+
+    def test_alive_subset_restriction(self):
+        # Node 0 crashed: restricted to survivors {1, 2}, ONE_SHORT closes.
+        alive = (1, 2)
+        assert is_knowledge_closed(self.ONE_SHORT, universe=alive, holders=alive)
+        # But requiring survivors to know the full universe still fails.
+        assert closure_deficit(self.ONE_SHORT, holders=alive) == [(2, 0)]
+
+    def test_missing_holder_owes_everything(self):
+        knowledge = {0: {0, 1}, 1: {0, 1}}
+        assert closure_deficit(knowledge, universe=(0, 1, 2)) == [
+            (0, 2),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+        ]
+
+    def test_weak_witnesses_on_star_knowledge(self):
+        # Hub 0 knows everyone and everyone knows the hub; leaves know
+        # only the hub — classic weak-but-not-strong discovery.
+        star = {0: {0, 1, 2, 3}, 1: {0, 1}, 2: {0, 2}, 3: {0, 3}}
+        assert weak_closure_witnesses(star) == [0]
+        assert not is_knowledge_closed(star)
+
+    def test_weak_witness_needs_both_directions(self):
+        # Node 0 knows everyone but node 2 never heard of it: no witness.
+        one_way = {0: {0, 1, 2}, 1: {0, 1}, 2: {2}}
+        assert weak_closure_witnesses(one_way) == []
+        # Known-by-everyone without knowing everyone fails too.
+        famous = {0: {0, 1}, 1: {0, 1, 2}, 2: {0, 2}}
+        assert weak_closure_witnesses(famous) == []
+
+    def test_closed_state_makes_every_node_a_witness(self):
+        assert weak_closure_witnesses(self.CLOSED) == [0, 1, 2]
+
+    def test_singleton_is_trivially_closed(self):
+        assert is_knowledge_closed({7: set()})
+        assert weak_closure_witnesses({7: set()}) == [7]
 
 
 class TestBallContainment:

@@ -4,6 +4,14 @@ The central strategy, :func:`weakly_connected_graphs`, draws arbitrary
 weakly connected directed knowledge graphs — the exact input class of the
 resource-discovery problem — over either dense or shuffled-sparse
 identifier namespaces.
+
+The schedule strategies — :func:`delivery_models`, :func:`fault_plans`,
+:func:`join_plans` — draw the adversarial environment of a run: a
+transport model (any registered family, any legal parameters), a fault
+plan (loss coin plus fail-stop crash rounds), and a churn script (late
+joiners).  Property tests use them to assert the transport and fault
+layers' structural invariants over *arbitrary* schedules, not a few
+hand-picked ones.
 """
 
 from __future__ import annotations
@@ -14,6 +22,16 @@ from hypothesis import strategies as st
 
 from repro.graphs.generators import ensure_weakly_connected
 from repro.graphs.knowledge import KnowledgeGraph
+from repro.sim.churn import JoinPlan
+from repro.sim.faults import FaultPlan
+from repro.sim.transport import (
+    AdversarialScheduler,
+    BoundedJitter,
+    DeliveryModel,
+    Lockstep,
+    PartitionWindow,
+    PerLinkLatency,
+)
 
 
 @st.composite
@@ -64,3 +82,78 @@ def weakly_connected_graphs(
 
 
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def delivery_models(
+    draw: st.DrawFn,
+    max_param: int = 4,
+    max_round: int = 20,
+    node_ids: range = range(16),
+) -> DeliveryModel:
+    """Draw an unbound delivery-model spec from any registered family.
+
+    Parameters span the legal range including the degenerate zeros
+    (``jitter:0`` etc.), so properties proved over this strategy cover
+    the lockstep reductions too.  Partition windows fall inside
+    ``[1, max_round]`` and may carry an explicit group over *node_ids*.
+    """
+    family = draw(
+        st.sampled_from(("lockstep", "jitter", "adversarial", "perlink", "partition"))
+    )
+    if family == "lockstep":
+        return Lockstep()
+    if family == "jitter":
+        return BoundedJitter(draw(st.integers(min_value=0, max_value=max_param)))
+    if family == "adversarial":
+        return AdversarialScheduler(draw(st.integers(min_value=0, max_value=max_param)))
+    if family == "perlink":
+        return PerLinkLatency(draw(st.integers(min_value=0, max_value=max_param)))
+    start = draw(st.integers(min_value=1, max_value=max_round))
+    end = draw(st.integers(min_value=start, max_value=max_round + max_param))
+    group = None
+    if draw(st.booleans()):
+        group = draw(st.frozensets(st.sampled_from(list(node_ids)), max_size=len(node_ids)))
+    return PartitionWindow(start, end, group=group)
+
+
+@st.composite
+def fault_plans(
+    draw: st.DrawFn,
+    max_node: int = 15,
+    max_round: int = 12,
+    max_loss: float = 0.5,
+) -> FaultPlan:
+    """Draw a fault plan: a loss rate plus a fail-stop crash schedule."""
+    loss_rate = draw(
+        st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.0, max_value=max_loss, allow_nan=False),
+        )
+    )
+    crash_rounds = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=max_node),
+            st.integers(min_value=1, max_value=max_round),
+            max_size=max_node,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16 - 1))
+    return FaultPlan(loss_rate=loss_rate, crash_rounds=crash_rounds, seed=seed)
+
+
+@st.composite
+def join_plans(
+    draw: st.DrawFn,
+    max_node: int = 15,
+    max_round: int = 12,
+) -> JoinPlan:
+    """Draw a churn script: machines dormant until their join round."""
+    join_rounds = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=max_node),
+            st.integers(min_value=1, max_value=max_round),
+            max_size=max_node,
+        )
+    )
+    return JoinPlan(join_rounds=join_rounds)

@@ -151,3 +151,58 @@ class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestFuzz:
+    def test_fuzz_smoke(self, capsys):
+        code = main(["fuzz", "--cases", "6", "--seed", "3", "--max-n", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "case    0" in out
+        assert "6 cases, 0 failure(s)" in out
+
+    def test_fuzz_quiet_writes_report(self, capsys, tmp_path):
+        path = tmp_path / "fuzz.jsonl"
+        code = main(
+            ["fuzz", "--cases", "3", "--seed", "4", "--max-n", "8",
+             "--quiet", "--no-differential", "--out", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # Quiet: no per-case lines, just the one-line summary.
+        assert out.splitlines()[0].startswith("fuzz:")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 3 + 1  # manifest + cases + summary
+
+    def test_fuzz_algorithm_filter(self, capsys):
+        code = main(
+            ["fuzz", "--cases", "3", "--seed", "5", "--max-n", "8",
+             "--algorithms", "flooding", "--quiet", "--no-differential"]
+        )
+        assert code == 0
+        assert "3 cases" in capsys.readouterr().out
+
+    def test_replay_literal_json(self, capsys):
+        from repro.oracle import ScheduleScript
+
+        script = ScheduleScript(
+            algorithm="flooding", topology="path", n=6, seed=1
+        )
+        code = main(["fuzz", "--replay", script.to_json()])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replaying flooding/path" in out
+        assert "clean: completed=True" in out
+
+    def test_replay_from_file(self, capsys, tmp_path):
+        from repro.oracle import ScheduleScript
+
+        script = ScheduleScript(
+            algorithm="swamping", topology="cycle", n=8, seed=2,
+            delivery="jitter:1",
+        )
+        path = tmp_path / "script.json"
+        path.write_text(script.to_json())
+        code = main(["fuzz", "--replay", str(path)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
