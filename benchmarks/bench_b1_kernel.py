@@ -16,11 +16,22 @@ import repro
 from repro.algorithms.registry import get_algorithm
 from repro.bench.replay import record_run, replay_engine
 from repro.graphs import make_topology
-from repro.sim import SynchronousEngine
+from repro.sim import BACKENDS, SynchronousEngine, vector_available
 
 N = 256
 SEED = 11
 STEADY_WINDOW = 5  # replayed tail rounds; see recorded_namedropper
+
+BACKEND_PARAMS = [
+    pytest.param(
+        backend,
+        id=backend,
+        marks=()
+        if backend != "vector" or vector_available()
+        else pytest.mark.skip(reason="numpy unavailable"),
+    )
+    for backend in BACKENDS
+]
 
 
 @pytest.fixture(scope="module")
@@ -45,8 +56,8 @@ def recorded_namedropper(kout_graph):
     )
 
 
-@pytest.mark.parametrize("fast_path", [False, True], ids=["legacy", "fast"])
-def test_b1_engine_rounds_namedropper(benchmark, kout_graph, fast_path):
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
+def test_b1_engine_rounds_namedropper(benchmark, kout_graph, backend):
     """Cost of executing 5 gossip rounds (heavy pointer traffic)."""
 
     def run_five_rounds():
@@ -55,7 +66,7 @@ def test_b1_engine_rounds_namedropper(benchmark, kout_graph, fast_path):
             get_algorithm("namedropper").node_factory(),
             seed=SEED,
             enforce_legality=False,
-            fast_path=fast_path,
+            backend=backend,
         )
         for _ in range(5):
             engine.step()
@@ -64,8 +75,8 @@ def test_b1_engine_rounds_namedropper(benchmark, kout_graph, fast_path):
     assert benchmark(run_five_rounds) == 5
 
 
-@pytest.mark.parametrize("fast_path", [False, True], ids=["legacy", "fast"])
-def test_b1_steady_state_replay(benchmark, recorded_namedropper, fast_path):
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
+def test_b1_steady_state_replay(benchmark, recorded_namedropper, backend):
     """Engine-only round throughput in the run's heaviest regime.
 
     Replays the final STEADY_WINDOW rounds of the recorded Name-Dropper
@@ -77,7 +88,10 @@ def test_b1_steady_state_replay(benchmark, recorded_namedropper, fast_path):
     start = recorded.rounds - STEADY_WINDOW + 1
 
     def make_engine():
-        return (replay_engine(recorded, start_round=start, fast_path=fast_path),), {}
+        engine = replay_engine(
+            recorded, start_round=start, backend=backend, force=True
+        )
+        return (engine,), {}
 
     def run_window(engine):
         for _ in range(STEADY_WINDOW):

@@ -111,6 +111,7 @@ def discover(
     max_rounds: Optional[int] = None,
     enforce_legality: bool = True,
     fast_path: bool = True,
+    backend: Optional[str] = None,
     profile: bool = False,
     **params: Any,
 ) -> RunResult:
@@ -141,6 +142,9 @@ def discover(
         fast_path: Run on the engine's dense bitmask path (default on —
             it is differential-tested bit-identical to the legacy path;
             pass ``False`` to use the reference implementation).
+        backend: Explicit engine backend (``"legacy"``, ``"fast"``, or
+            ``"vector"`` — the bit-packed numpy kernel for large n).
+            ``None`` defers to ``fast_path``; an explicit value wins.
         profile: Record per-phase engine timings into
             ``result.extra["phase_timings"]``.
         **params: Algorithm parameters (for ``sublog``/``detmerge`` these
@@ -163,6 +167,7 @@ def discover(
         observers=observers,
         enforce_legality=enforce_legality,
         fast_path=fast_path,
+        backend=backend,
         profile=profile,
         algorithm_name=algorithm,
         params=params,

@@ -22,7 +22,8 @@ EXPERIMENT_ID = "F1"
 TITLE = "Rounds vs n (figure series)"
 
 ALGORITHMS = ("sublog", "sublogcoin", "namedropper", "flooding")
-SIZE_CAPS = {"flooding": 2048}
+#: Mirrors T1's caps (same justification there); sublog runs uncapped.
+SIZE_CAPS = {"flooding": 2048, "namedropper": 8192, "sublogcoin": 16384}
 
 
 def run(scale: Scale, options: Optional[SweepOptions] = None) -> ExperimentReport:

@@ -48,6 +48,11 @@ class RecordedRun:
             each requested round — valid starting states for partial
             replays.
         seed: Master seed the run (and any replay of it) uses.
+        backend: Engine backend the recording ran on.  Replays refuse to
+            run on a *different* backend unless forced, because a
+            cross-backend replay times one engine against a schedule whose
+            provenance is another — fine for deliberate A/B benchmarks
+            (that is what ``force=True`` asserts), misleading by accident.
     """
 
     initial: Mapping[int, FrozenSet[int]]
@@ -55,6 +60,7 @@ class RecordedRun:
     result: RunResult
     snapshots: Mapping[int, Mapping[int, FrozenSet[int]]]
     seed: int
+    backend: str = "legacy"
 
     @property
     def rounds(self) -> int:
@@ -146,6 +152,7 @@ def record_run(
         result=result,
         snapshots=dict(observer.snapshots),
         seed=seed,
+        backend=engine.backend,
     )
 
 
@@ -175,6 +182,8 @@ def replay_engine(
     *,
     start_round: int = 1,
     fast_path: bool = False,
+    backend: Optional[str] = None,
+    force: bool = False,
     enforce_legality: bool = False,
     profile: bool = False,
 ) -> SynchronousEngine:
@@ -182,10 +191,25 @@ def replay_engine(
 
     Step it ``recorded.window(start_round)`` times to re-execute the
     remainder of the run; metrics and final ground truth then match the
-    recorded tail exactly on either engine path.
+    recorded tail exactly on any backend.
+
+    ``backend`` selects the replay backend explicitly (``fast_path``
+    remains the boolean alias).  Replaying against a backend other than
+    ``recorded.backend`` raises unless ``force=True``: the B1 kernels do
+    this on purpose (the whole point is timing fast/vector engines on a
+    legacy-recorded schedule) and say so with ``force``; anything else is
+    probably comparing apples to a different engine by accident.
     """
     window = recorded.window(start_round)  # validates start_round
     del window
+    if backend is None:
+        backend = "fast" if fast_path else "legacy"
+    if backend != recorded.backend and not force:
+        raise ValueError(
+            f"recording was made on the {recorded.backend!r} backend but the "
+            f"replay requests {backend!r}; pass --force / force=True to "
+            "time a cross-backend replay deliberately"
+        )
     if start_round == 1:
         adjacency: Mapping[int, FrozenSet[int]] = recorded.initial
     else:
@@ -201,7 +225,7 @@ def replay_engine(
         node_type,
         seed=recorded.seed,
         enforce_legality=enforce_legality,
-        fast_path=fast_path,
+        backend=backend,
         profile=profile,
         algorithm_name=f"replay:{recorded.result.algorithm}",
     )

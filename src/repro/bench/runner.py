@@ -43,6 +43,36 @@ from ..sim.metrics import RunResult
 from ..sim.observers import Observer
 from ..sim.rng import derive_seed
 from ..sim.transport import DeliveryModel
+from ..sim.vector_kernel import vector_available
+
+#: Size at which harness runs upgrade from the fast path to the vector
+#: backend when no explicit backend is requested.  The crossover point:
+#: below it the fast path's per-message Python-int ops win on constant
+#: factors; above it the vector backend's batched screens dominate (and
+#: the fast path's pow2 table ages out at n > 2**14 anyway).  Gated on
+#: the oracle's vector-vs-fast differential coverage — see
+#: :func:`repro.oracle.differential.diff_vector_vs_fast`.
+VECTOR_DEFAULT_MIN_N = 8192
+
+
+def resolve_backend(
+    n: int, backend: Optional[str] = None, *, fast_path: bool = True
+) -> str:
+    """The engine backend a harness run of size *n* executes on.
+
+    An explicit *backend* always wins.  Otherwise ``fast_path=False``
+    selects the reference path, and the default fast path auto-upgrades
+    to ``vector`` at ``n >= VECTOR_DEFAULT_MIN_N`` when numpy is
+    importable (falling back to ``fast`` when it is not, so a
+    numpy-less environment still benches rather than erroring).
+    """
+    if backend is not None:
+        return backend
+    if not fast_path:
+        return "legacy"
+    if n >= VECTOR_DEFAULT_MIN_N and vector_available():
+        return "vector"
+    return "fast"
 
 
 @dataclass(frozen=True)
@@ -124,6 +154,7 @@ def run_case(
     observers: Iterable[Observer] = (),
     enforce_legality: bool = False,
     fast_path: bool = True,
+    backend: Optional[str] = None,
     max_rounds: Optional[int] = None,
     graph: Optional[KnowledgeGraph] = None,
 ) -> RunResult:
@@ -131,7 +162,8 @@ def run_case(
 
     The ``delivery`` keyword overrides ``case.delivery`` when given;
     ``jitter`` remains the legacy alias and is mutually exclusive with
-    both (enforced by the engine).
+    both (enforced by the engine).  ``backend`` pins the engine backend;
+    by default :func:`resolve_backend` picks one from the case size.
     """
     from .. import discover  # local import: repro re-exports this module
 
@@ -149,17 +181,20 @@ def run_case(
         delivery=delivery,
         observers=observers,
         enforce_legality=enforce_legality,
-        fast_path=fast_path,
+        backend=resolve_backend(case.n, backend, fast_path=fast_path),
         max_rounds=max_rounds,
         **dict(case.params),
     )
 
 
-def _run_sweep_case(payload: Tuple[Case, bool, bool]) -> RunResult:
+def _run_sweep_case(payload: Tuple[Case, bool, bool, Optional[str]]) -> RunResult:
     """Module-level worker body (must be picklable for spawn workers)."""
-    case, enforce_legality, fast_path = payload
+    case, enforce_legality, fast_path, backend = payload
     return run_case(
-        case, enforce_legality=enforce_legality, fast_path=fast_path
+        case,
+        enforce_legality=enforce_legality,
+        fast_path=fast_path,
+        backend=backend,
     )
 
 
@@ -217,6 +252,7 @@ def sweep(
     workers: Optional[int] = None,
     enforce_legality: bool = False,
     fast_path: bool = True,
+    backend: Optional[str] = None,
     delivery: Optional[Union[str, DeliveryModel]] = None,
     retries: int = 0,
     cell_timeout: Optional[float] = None,
@@ -289,6 +325,7 @@ def sweep(
             progress=progress,
             enforce_legality=enforce_legality,
             fast_path=fast_path,
+            backend=backend,
             fault_hook=_test_fault_hook,
         )
         report = runner.run(cases)
@@ -297,7 +334,7 @@ def sweep(
         return report.results
 
     if workers is not None and workers > 1 and len(cases) > 1:
-        payloads = [(case, enforce_legality, fast_path) for case in cases]
+        payloads = [(case, enforce_legality, fast_path, backend) for case in cases]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_run_sweep_case, payloads))
 
@@ -315,6 +352,7 @@ def sweep(
                 graph=graph,
                 enforce_legality=enforce_legality,
                 fast_path=fast_path,
+                backend=backend,
             )
         )
     return results

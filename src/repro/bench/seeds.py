@@ -1,10 +1,21 @@
 """Benchmark scales and canonical seeds.
 
-Experiments run at two scales:
+Experiments run at three scales:
 
 * ``small`` — CI-friendly (seconds to a couple of minutes per experiment);
   the default for ``pytest benchmarks/``.
 * ``full`` — the sizes reported in EXPERIMENTS.md (minutes).
+* ``large`` — extends the sweep 8× past ``full``'s ceiling (n up to
+  16 384, single seed; tens of minutes).  The engine side is feasible
+  because the bench runner upgrades cells to the bit-packed vector
+  backend at n ≥ 8192 (``runner.resolve_backend``); wall clock is
+  dominated by the *protocol* side (per-node Python set bookkeeping is
+  O(total learning) on any backend), which is what the per-algorithm
+  size caps in T1/F1 bound.  n = 32 768 honest runs were measured to
+  exceed this box's 125 GB of RAM — not in the engine matrix (128 MB)
+  but in protocol-side sets and in-flight full-knowledge payloads —
+  so steady-state scaling beyond that is B1's synthetic-kernel
+  territory (``repro.bench.steady``), not the sweep's.
 
 Select with the ``REPRO_BENCH_SCALE`` environment variable or the CLI's
 ``--scale`` flag.  Seeds are fixed constants so that every report is
@@ -17,7 +28,7 @@ import os
 from dataclasses import dataclass
 from typing import Tuple
 
-_SCALES = ("small", "full")
+_SCALES = ("small", "full", "large")
 
 #: Canonical seed list; experiments take a prefix.
 CANONICAL_SEEDS: Tuple[int, ...] = (11, 23, 37, 53, 71, 89, 101, 127)
@@ -52,6 +63,13 @@ SCALES = {
         sweep_sizes=(64, 128, 256, 512, 1024, 2048),
         focus_n=1024,
         big_n=4096,
+    ),
+    "large": Scale(
+        name="large",
+        seeds=CANONICAL_SEEDS[:1],
+        sweep_sizes=(4096, 8192, 16384),
+        focus_n=8192,
+        big_n=16384,
     ),
 }
 

@@ -1,0 +1,345 @@
+"""Synthetic steady-state kernels for large-n engine benchmarks.
+
+The record-and-replay kernel (:mod:`repro.bench.replay`) measures the
+engine in a *real* protocol's heaviest rounds, but producing a recording
+requires running the protocol end to end on the legacy path — minutes at
+n = 4096 and out of reach at n = 10^5.  This module manufactures the
+steady-state regime directly: it builds an engine whose ground-truth
+knowledge is already (nearly) complete, with a small population of
+*laggards* missing a seeded sample of ids, and drives it with scheduled
+nodes that re-broadcast slices of the id space to rotating neighbors.
+That is exactly the traffic shape of a gossip run's final rounds — peak
+pointer volume, almost every delivery teaching nothing — without paying
+for the ramp-up.
+
+Knowledge is injected per backend into the engine's primary
+representation (``_ksets`` / ``_kmasks`` / the packed matrix), with all
+derived counters rebuilt, so the three backends start digest-identical
+and stay digest-identical through the window (asserted by
+``tests/bench/test_steady.py``).  The scheduled nodes do no protocol
+work of their own — ``absorb`` is a no-op and their private ``known``
+views are left at ring size — so a timed window isolates the engine's
+dispatch/screen/learn kernel, like a replay does.
+
+Injection bypasses the engine's constructor invariants on purpose and is
+only sound with ``enforce_legality=False`` (the synthetic senders
+"know" the whole id space only in ground truth, not in their node-side
+views the legality screen would consult after a sync).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from ..sim.engine import SynchronousEngine
+from ..sim.messages import Message
+from ..sim.node import ProtocolNode
+from ..sim.rng import derive_seed
+from ..sim.vector_kernel import np
+
+
+@dataclass(frozen=True)
+class SteadySpec:
+    """Shape of one synthetic steady-state workload.
+
+    Attributes:
+        n: Machine count; ids are the dense integers ``0..n-1``.
+        window: Rounds the kernel drives (each is one engine step).
+        senders_per_round: Approximate number of complete nodes that
+            transmit each round (spread evenly over the id space).
+            ``None`` means every complete node sends every round.
+        pointers_per_message: Ids carried per message, as a contiguous
+            (wrapping) slice of the id space rotated per round.  ``None``
+            means the full id space — the true steady-state payload, but
+            only the vector backend can afford it at large n.
+        laggards: Number of tail nodes still missing knowledge.  They
+            receive but never send, and they are the only nodes for whom
+            a delivery can teach anything.
+        missing_per_laggard: Ids each laggard is missing (seeded sample).
+        shared_missing: All laggards miss the *same* sample (a late-join
+            cohort) instead of per-laggard samples.  Required when the
+            laggard population is large — distinct samples cost
+            ``laggards * missing_per_laggard`` memory, a shared one
+            costs ``missing_per_laggard``.
+        seed: Master seed; every derived choice (payload rotation, hop
+            offsets, missing samples) is deterministic in it.
+    """
+
+    n: int
+    window: int = 3
+    senders_per_round: Optional[int] = None
+    pointers_per_message: Optional[int] = None
+    laggards: int = 64
+    missing_per_laggard: int = 256
+    shared_missing: bool = False
+    seed: int = 11
+
+    @property
+    def bytes_per_node(self) -> int:
+        """Packed-row width of one node's knowledge on the vector backend."""
+        return (self.n + 7) >> 3
+
+    @property
+    def matrix_mb(self) -> float:
+        """Vector-backend knowledge-matrix footprint in MiB."""
+        return round(self.n * self.bytes_per_node / (1 << 20), 1)
+
+
+class SteadyNode(ProtocolNode):
+    """A scheduled sender that learns nothing and keeps no state.
+
+    Subclassing binds the schedule as class attributes (the engine's
+    factory protocol only passes a node id).  ``absorb`` is a no-op so
+    delivered payloads don't drag n-sized updates through every
+    recipient's node-side ``known`` set — ground truth lives in the
+    engine, which is the thing being measured.
+    """
+
+    _n: int = 0
+    _stride: int = 1
+    _first_laggard: int = 0
+    _payloads: Dict[int, FrozenSet[int]] = {}
+    _hops: Dict[int, int] = {}
+
+    def absorb(self, message: Message) -> None:
+        pass
+
+    def on_round(self, round_no: int, inbox) -> None:
+        payload = self._payloads.get(round_no)
+        if payload is None or self.node_id >= self._first_laggard:
+            return
+        if (self.node_id - round_no) % self._stride:
+            return
+        recipient = (self.node_id + self._hops[round_no]) % self._n
+        self._outbox.append(
+            Message("steady", self.node_id, recipient, payload)
+        )
+
+
+def ring_adjacency(n: int) -> Dict[int, FrozenSet[int]]:
+    """Cheap O(n) bootstrap topology for injected engines."""
+    return {
+        i: frozenset({(i - 1) % n, (i + 1) % n}) for i in range(n)
+    }
+
+
+def laggard_missing(spec: SteadySpec) -> Dict[int, Set[int]]:
+    """Seeded per-laggard missing-id samples.
+
+    Samples avoid id 0 and everything at or above ``n - laggards - 2``,
+    so no laggard is ever missing itself, a ring neighbor, or another
+    laggard — keeping the injected state a plausible late-run snapshot.
+    With ``shared_missing`` one sample object is shared by every laggard
+    (the injector exploits the sharing; never mutate these sets).
+    """
+    n, count = spec.n, min(spec.laggards, max(0, spec.n - 4))
+    first = n - count
+    upper = max(1, first - 2)
+    k = min(spec.missing_per_laggard, max(0, upper - 1))
+    if spec.shared_missing:
+        rng = random.Random(derive_seed(spec.seed, "steady-missing", -1))
+        sample = set(rng.sample(range(1, upper), k)) if k > 0 else set()
+        return {node: sample for node in range(first, n)}
+    missing: Dict[int, Set[int]] = {}
+    for node in range(first, n):
+        rng = random.Random(derive_seed(spec.seed, "steady-missing", node))
+        missing[node] = set(rng.sample(range(1, upper), k)) if k > 0 else set()
+    return missing
+
+
+def _group_by_sample(
+    incomplete: Set[int], missing_by_node: Mapping[int, Set[int]]
+) -> Dict[int, Tuple[Set[int], List[int]]]:
+    """Incomplete nodes grouped by the *identity* of their missing set,
+    so shared samples are translated and rasterized once, not per node."""
+    groups: Dict[int, Tuple[Set[int], List[int]]] = {}
+    for node in incomplete:
+        sample = missing_by_node[node]
+        entry = groups.get(id(sample))
+        if entry is None:
+            groups[id(sample)] = (sample, [node])
+        else:
+            entry[1].append(node)
+    return groups
+
+
+def inject_steady_state(
+    engine: SynchronousEngine,
+    missing_by_node: Mapping[int, Set[int]],
+    *,
+    sync_sets: bool = True,
+) -> None:
+    """Overwrite *engine*'s ground truth with near-complete knowledge.
+
+    Every node knows the full id space except the listed missing ids;
+    all derived counters (sizes, completeness, alive tallies, sync
+    caches) are rebuilt so the engine is indistinguishable from one that
+    ran its way into this state.  Works on all three backends; the
+    shared-object tricks (one full Python set / one full bitmask for
+    every complete node, one mask per distinct missing sample) keep the
+    cost O(n + distinct samples), not O(n^2).
+
+    ``sync_sets=False`` skips rebuilding the Python knowledge sets —
+    mandatory at large n with many laggards, where materializing one set
+    per laggard would dwarf the packed matrix itself.  The engine's
+    ``knowledge`` property is then *poisoned* (emptied, not left subtly
+    stale); digests, metrics, and goal predicates — everything the
+    benchmark kernels read — stay exact.  Only the fast and vector
+    backends support it (the legacy path computes *on* the sets).
+    """
+    if engine.enforce_legality:
+        raise ValueError(
+            "steady-state injection requires enforce_legality=False; the "
+            "synthetic senders' node-side views never match ground truth"
+        )
+    n = engine.n
+    node_ids = engine.node_ids
+    index = engine._index
+    incomplete = {node for node, ids in missing_by_node.items() if ids}
+    groups = _group_by_sample(incomplete, missing_by_node)
+
+    if sync_sets:
+        full_set = set(node_ids)
+        engine._ksets = {
+            node: (full_set - missing_by_node[node])
+            if node in incomplete
+            else full_set
+            for node in node_ids
+        }
+    elif engine.backend == "legacy":
+        raise ValueError("sync_sets=False is meaningless on the legacy backend")
+    else:
+        engine._ksets = {}
+    engine._ksets_stale = False
+    engine._complete_nodes = n - len(incomplete)
+
+    if engine.backend == "vector":
+        state = engine._vstate
+        full_row = np.full(state.nbytes, 0xFF, dtype=np.uint8)
+        if n & 7:
+            full_row[-1] = (1 << (n & 7)) - 1  # padding bits stay zero
+        state.K[:] = full_row
+        state.sizes[:] = n
+        state.complete[:] = True
+        state.complete_row[:] = full_row
+        for sample, nodes in groups.values():
+            bits = np.fromiter((index[m] for m in sample), dtype=np.intp)
+            cleared = full_row.copy()
+            np.bitwise_and.at(
+                cleared, state.byte_of[bits], ~state.bitval_of[bits]
+            )
+            rows = np.fromiter((index[node] for node in nodes), dtype=np.intp)
+            state.K[rows] = cleared
+            state.sizes[rows] = n - bits.size
+            state.complete[rows] = False
+            np.bitwise_and.at(
+                state.complete_row, state.byte_of[rows], ~state.bitval_of[rows]
+            )
+        engine._vdirty.clear()
+    elif engine.backend == "fast":
+        full_mask = (1 << n) - 1
+        engine._kmasks = kmasks = [full_mask] * n
+        engine._ksizes = ksizes = [n] * n
+        incomplete_rows = bytearray((n + 7) >> 3)
+        for sample, nodes in groups.values():
+            drop = 0
+            for m in sample:
+                drop |= 1 << index[m]  # _pow2 is absent at large n
+            lag_mask = full_mask ^ drop
+            lag_size = n - len(sample)
+            for node in nodes:
+                row = index[node]
+                kmasks[row] = lag_mask
+                ksizes[row] = lag_size
+                incomplete_rows[row >> 3] |= 1 << (row & 7)
+        engine._complete_mask = full_mask ^ int.from_bytes(
+            incomplete_rows, "little"
+        )
+        engine._kcache_masks = list(kmasks)
+    else:  # legacy: the per-id path keeps a known-by counter for weak goals
+        known_by = {node: n for node in node_ids}
+        for sample, nodes in groups.values():
+            for m in sample:
+                known_by[m] -= len(nodes)
+        engine._known_by = known_by
+
+    engine._rebuild_alive_counters()
+
+
+def build_steady_engine(
+    spec: SteadySpec, backend: str, *, sync_sets: bool = True
+) -> Tuple[SynchronousEngine, int]:
+    """Build an injected engine plus the window's total pointer count.
+
+    Step the engine ``spec.window`` times to execute the workload; the
+    returned pointer count is what the engine's metrics will report for
+    those rounds (useful for ns/pointer without reading metrics early).
+    Pass ``sync_sets=False`` at large n (see :func:`inject_steady_state`).
+    """
+    n = spec.n
+    first_laggard = n - min(spec.laggards, max(0, n - 4))
+    stride = 1
+    if spec.senders_per_round is not None:
+        stride = max(1, n // max(1, spec.senders_per_round))
+
+    size = spec.pointers_per_message
+    payloads: Dict[int, FrozenSet[int]] = {}
+    full_payload: Optional[FrozenSet[int]] = None
+    hops: Dict[int, int] = {}
+    window_pointers = 0
+    for round_no in range(1, spec.window + 1):
+        if size is None or size >= n:
+            if full_payload is None:
+                full_payload = frozenset(range(n))
+            payloads[round_no] = full_payload
+        else:
+            base = derive_seed(spec.seed, "steady-payload", round_no) % n
+            payloads[round_no] = frozenset(
+                (base + j) % n for j in range(size)
+            )
+        hops[round_no] = derive_seed(spec.seed, "steady-hop", round_no) % (n - 1) + 1
+        senders = sum(
+            1
+            for i in range(first_laggard)
+            if (i - round_no) % stride == 0
+        )
+        window_pointers += senders * len(payloads[round_no])
+
+    node_type = type(
+        "BoundSteadyNode",
+        (SteadyNode,),
+        {
+            "_n": n,
+            "_stride": stride,
+            "_first_laggard": first_laggard,
+            "_payloads": payloads,
+            "_hops": hops,
+        },
+    )
+    engine = SynchronousEngine(
+        ring_adjacency(n),
+        node_type,
+        seed=spec.seed,
+        enforce_legality=False,
+        backend=backend,
+        algorithm_name=f"steady:{spec.n}",
+    )
+    inject_steady_state(engine, laggard_missing(spec), sync_sets=sync_sets)
+    return engine, window_pointers
+
+
+def run_steady_window(spec: SteadySpec, backend: str) -> List[str]:
+    """Drive one window and return the per-round knowledge digests.
+
+    The cross-backend equivalence test compares these lists; benchmarks
+    time :func:`build_steady_engine` + ``engine.step()`` directly
+    instead, keeping digesting out of the measured region.
+    """
+    engine, _ = build_steady_engine(spec, backend)
+    digests = []
+    for _ in range(spec.window):
+        engine.step()
+        digests.append(engine.knowledge_digest())
+    return digests

@@ -314,7 +314,17 @@ class _CellOutcome:
 
 
 def _execute_cell(
-    payload: Tuple[int, str, Case, bool, bool, int, Optional[float], Optional[Callable]],
+    payload: Tuple[
+        int,
+        str,
+        Case,
+        bool,
+        bool,
+        Optional[str],
+        int,
+        Optional[float],
+        Optional[Callable],
+    ],
 ) -> _CellOutcome:
     """Module-level worker body: run one cell with retries inside the
     worker, so the pool sees exactly one task per cell and the retry
@@ -325,6 +335,7 @@ def _execute_cell(
         case,
         enforce_legality,
         fast_path,
+        backend,
         retries,
         cell_timeout,
         fault_hook,
@@ -334,7 +345,12 @@ def _execute_cell(
         # stand-in for a slow cell and must trip the timeout like one.
         if fault_hook is not None:
             fault_hook(case, attempt)
-        return run_case(case, enforce_legality=enforce_legality, fast_path=fast_path)
+        return run_case(
+            case,
+            enforce_legality=enforce_legality,
+            fast_path=fast_path,
+            backend=backend,
+        )
 
     last: Optional[BaseException] = None
     for attempt in range(retries + 1):
@@ -396,6 +412,7 @@ class SweepRunner:
     progress: Optional[Callable[[SweepProgress], None]] = None
     enforce_legality: bool = False
     fast_path: bool = True
+    backend: Optional[str] = None
     fault_hook: Optional[Callable[[Case, int], None]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
@@ -545,6 +562,7 @@ class SweepRunner:
                 "cell_timeout": self.cell_timeout,
                 "enforce_legality": self.enforce_legality,
                 "fast_path": self.fast_path,
+                "backend": self.backend,
             },
             "git": _git_describe(),
             "metadata": dict(self.metadata),
@@ -587,6 +605,7 @@ class SweepRunner:
             case,
             self.enforce_legality,
             self.fast_path,
+            self.backend,
             self.retries,
             self.cell_timeout,
             self.fault_hook,

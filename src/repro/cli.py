@@ -83,6 +83,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.sparkline:
         size_observer = KnowledgeSizeObserver()
         observers.append(size_observer)
+    if args.backend is not None and args.legacy_engine:
+        print("error: pass either --backend or --legacy-engine, not both",
+              file=sys.stderr)
+        return 2
+    backend = args.backend
+    if backend is None and args.legacy_engine:
+        backend = "legacy"
     started = time.perf_counter()
     result = discover(
         graph,
@@ -92,7 +99,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         delivery=args.delivery,
         observers=observers,
-        fast_path=not args.legacy_engine,
+        backend=backend,
         profile=args.profile,
         **params,
     )
@@ -200,12 +207,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         journal=args.journal,
         resume=args.resume,
         progress=render if not args.quiet else None,
+        backend=args.backend,
         metadata={
             "topology": args.topology,
             "sizes": args.sizes,
             "seeds": args.seeds,
             "algorithms": args.algorithms,
             "delivery": args.delivery,
+            "backend": args.backend,
         },
     )
     started = time.perf_counter()
@@ -225,6 +234,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "algorithms": args.algorithms,
             "workers": args.workers,
             "delivery": args.delivery,
+            "backend": args.backend,
         },
     )
     summary = f"saved {count} results to {args.out} in {elapsed:.1f}s"
@@ -347,9 +357,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-phase engine timings (protocol/dispatch/deliver/observers)",
     )
     run_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("legacy", "fast", "vector"),
+        help="engine backend: legacy (reference per-id loops), fast "
+        "(dense Python-int bitmasks, the default), or vector (bit-packed "
+        "numpy matrix for large n)",
+    )
+    run_parser.add_argument(
         "--legacy-engine",
         action="store_true",
-        help="run on the reference per-id engine path instead of the dense fast path",
+        help="alias for --backend legacy (kept for compatibility)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -434,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("legacy", "fast", "vector"),
+        help="pin every cell to one engine backend (default: auto — fast, "
+        "upgrading to vector at large n when numpy is available)",
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

@@ -46,10 +46,25 @@ def densify(node_ids: Sequence[int]) -> Dict[int, int]:
 def dense_index(node_ids: Iterable[int]) -> Tuple[Tuple[int, ...], Dict[int, int]]:
     """Sorted id tuple plus its id → dense-index inverse, in one pass.
 
-    The simulator's dense fast path needs both directions of the remap:
-    ``ordered[i]`` recovers the opaque id sitting at bit ``i`` of a
-    knowledge bitmask, and ``index[id]`` finds an id's bit.  Index ``i``
-    of the returned tuple always equals ``densify(node_ids)[ordered[i]]``.
+    The simulator's dense fast and vector paths need both directions of
+    the remap: ``ordered[i]`` recovers the opaque id sitting at bit ``i``
+    of a knowledge bitmask (or matrix column), and ``index[id]`` finds an
+    id's bit.  Index ``i`` of the returned tuple always equals
+    ``densify(node_ids)[ordered[i]]``.
+
+    Duplicate ids are rejected: two nodes sharing a bit would silently
+    merge their knowledge in every bitmask representation, so a collision
+    is always caller error (mapping inputs deduplicate by construction,
+    but sequences from recordings or hand-built graphs may not).
     """
     ordered = tuple(sorted(node_ids))
-    return ordered, {node: index for index, node in enumerate(ordered)}
+    index = {node: position for position, node in enumerate(ordered)}
+    if len(index) != len(ordered):
+        seen: set[int] = set()
+        duplicates = sorted(
+            {node for node in ordered if node in seen or seen.add(node)}
+        )
+        raise ValueError(
+            f"duplicate node ids in dense index: {duplicates[:5]}"
+        )
+    return ordered, index

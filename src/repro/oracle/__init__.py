@@ -24,6 +24,7 @@ from .differential import (
     diff_engines,
     diff_fast_vs_legacy,
     diff_reduction,
+    diff_vector_vs_fast,
     engine_digest,
     lockstep_reduction,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "diff_engines",
     "diff_fast_vs_legacy",
     "diff_reduction",
+    "diff_vector_vs_fast",
     "engine_digest",
     "fuzz",
     "generate_script",

@@ -10,10 +10,13 @@ state via :meth:`~repro.sim.engine.SynchronousEngine.knowledge_digest`
 plus the complete metrics ledger — and reports the first divergent round
 and field.
 
-Two standard pairings:
+Three standard pairings:
 
 * :func:`diff_fast_vs_legacy` — the dense fast path against the
   reference path on the script's own schedule;
+* :func:`diff_vector_vs_fast` — the bit-packed numpy vector backend
+  against the fast path on the script's own schedule (the safety net
+  that gates ``vector`` becoming the bench default at large n);
 * :func:`diff_reduction` — the script's delivery-model family at its
   degenerate parameterization (``jitter:0``, ``adversarial:0``,
   ``perlink:0``, an out-of-horizon partition window) against plain
@@ -171,6 +174,24 @@ def diff_fast_vs_legacy(
         max_rounds=script.resolved_max_rounds(),
         label_a="fast-path",
         label_b="legacy",
+    )
+
+
+def diff_vector_vs_fast(
+    script: ScheduleScript, *, enforce_legality: bool = True
+) -> DiffReport:
+    """The bit-packed vector backend against the fast path on one script.
+
+    Raises :class:`ImportError` when numpy is unavailable; callers that
+    must degrade gracefully should guard on
+    :func:`repro.sim.vector_kernel.vector_available` first.
+    """
+    return diff_engines(
+        script.build_engine(backend="vector", enforce_legality=enforce_legality),
+        script.build_engine(backend="fast", enforce_legality=enforce_legality),
+        max_rounds=script.resolved_max_rounds(),
+        label_a="vector",
+        label_b="fast-path",
     )
 
 

@@ -44,7 +44,8 @@ from ..sim.engine import SynchronousEngine
 from ..sim.metrics import RunResult
 from ..sim.observers import Observer
 from ..sim.rng import derive_rng
-from .differential import diff_fast_vs_legacy, diff_reduction
+from ..sim.vector_kernel import vector_available
+from .differential import diff_fast_vs_legacy, diff_reduction, diff_vector_vs_fast
 from .invariants import InvariantOracle, OracleViolation
 from .script import ScheduleScript
 
@@ -219,8 +220,10 @@ def check_script(
     """Run every check one fuzz case gets; ``None`` means clean.
 
     On failure returns ``(kind, detail)`` where *kind* is ``invariant``
-    (the oracle raised), ``divergence`` (fast path != legacy path), or
-    ``reduction-divergence`` (degenerate model != lockstep).
+    (the oracle raised), ``divergence`` (fast path != legacy path),
+    ``vector-divergence`` (vector backend != fast path; skipped when
+    numpy is unavailable), or ``reduction-divergence`` (degenerate model
+    != lockstep).
     """
     try:
         run_script(script, strict=True, engine_hook=engine_hook)
@@ -230,6 +233,10 @@ def check_script(
         report = diff_fast_vs_legacy(script)
         if not report.equal:
             return ("divergence", report.describe())
+        if vector_available():
+            report = diff_vector_vs_fast(script)
+            if not report.equal:
+                return ("vector-divergence", report.describe())
     if reduction:
         report = diff_reduction(script)
         if report is not None and not report.equal:
@@ -360,7 +367,7 @@ class FuzzCase:
 
     index: int
     script: ScheduleScript
-    status: str  # "ok" | "invariant" | "divergence" | "reduction-divergence"
+    status: str  # ok | invariant | divergence | vector-divergence | reduction-divergence
     detail: Optional[str] = None
     shrunk: Optional[ScheduleScript] = None
 

@@ -110,6 +110,7 @@ class ScheduleScript:
         self,
         *,
         fast_path: bool = True,
+        backend: Optional[str] = None,
         enforce_legality: bool = True,
         observers: Iterable[Observer] = (),
         delivery: Optional[str] = None,
@@ -118,7 +119,10 @@ class ScheduleScript:
 
         ``delivery`` overrides the script's own spec when given (the
         differential runner uses this to pit a model against its lockstep
-        reduction on an otherwise identical run).
+        reduction on an otherwise identical run).  ``backend`` selects
+        the engine backend explicitly (``"legacy"``/``"fast"``/
+        ``"vector"``); when ``None`` the ``fast_path`` flag decides, as
+        in the engine constructor.
         """
         spec = get_algorithm(self.algorithm)
         return SynchronousEngine(
@@ -132,6 +136,7 @@ class ScheduleScript:
             observers=observers,
             enforce_legality=enforce_legality,
             fast_path=fast_path,
+            backend=backend,
             algorithm_name=self.algorithm,
             params=self.params,
         )

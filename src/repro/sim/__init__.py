@@ -16,7 +16,7 @@ The public surface of the simulator:
 """
 
 from .churn import JoinPlan, late_join_workload
-from .engine import GOALS, SynchronousEngine, default_max_rounds
+from .engine import BACKENDS, GOALS, SynchronousEngine, default_max_rounds
 from .errors import (
     EngineStateError,
     ProtocolViolation,
@@ -45,8 +45,10 @@ from .transport import (
     PerLinkLatency,
     parse_delivery,
 )
+from .vector_kernel import vector_available
 
 __all__ = [
+    "BACKENDS",
     "DELIVERY_MODELS",
     "GOALS",
     "MESSAGE_HEADER_WORDS",
@@ -83,4 +85,5 @@ __all__ = [
     "message_bits",
     "parse_delivery",
     "read_jsonl",
+    "vector_available",
 ]

@@ -23,14 +23,18 @@ bounded jitter, per-link latency, adversarial delay) and delivery-time
 vetoes (partition windows).  The historical ``jitter=`` knob survives as
 an alias for ``delivery=BoundedJitter(jitter)``.
 
-Two interchangeable execution paths are provided (selected by the
-``fast_path`` constructor flag and proven equivalent by the differential
-tests in ``tests/sim/test_fast_path_equivalence.py``).  Note the default
-split: the engine constructor itself defaults to ``fast_path=False``
-(the reference path), while the bench harness (`repro.bench.runner`),
-the CLI, and :func:`repro.discover` all default to ``fast_path=True`` —
-so casual engine construction gets the obviously-correct path and every
-shipped entry point gets the fast one.
+Three interchangeable execution backends are provided (selected by the
+``backend`` constructor parameter — ``"legacy"``, ``"fast"``, or
+``"vector"`` — with the historical ``fast_path`` flag surviving as an
+alias for the first two) and proven equivalent by the differential tests
+in ``tests/sim/test_fast_path_equivalence.py`` and
+``tests/sim/test_vector_backend.py``.  Note the default split: the
+engine constructor itself defaults to the legacy reference path, while
+the bench harness (`repro.bench.runner`), the CLI, and
+:func:`repro.discover` default to the fast path (auto-upgraded to
+``vector`` at large n where the bench layer decides to) — so casual
+engine construction gets the obviously-correct path and every shipped
+entry point gets a fast one.
 
 * the **legacy path** (``fast_path=False``) walks every
   carried pointer in interpreted per-id loops — simple, obviously
@@ -53,6 +57,22 @@ shipped entry point gets the fast one.
   collapse into one
   :meth:`~repro.sim.metrics.MetricsCollector.record_batch` per round.
 
+* the **vector backend** (``backend="vector"``) lifts the same dense
+  remap into one bit-packed numpy ``uint8`` matrix of shape
+  ``(n, ceil(n/8))`` (:mod:`repro.sim.vector_kernel`) so a whole round
+  of pointer delivery becomes a handful of batched row-wise ``OR`` /
+  ``AND``-``NOT`` operations: one boolean gather skips every delivery to
+  an already-complete recipient, a chunked matrix screen proves which of
+  the remaining messages can teach anything at all, and only those pay
+  the ``np.packbits`` protocol-boundary translation.  It honours the
+  exact same observer hooks, :meth:`knowledge_digest`, and delivery-model
+  seam as the other two backends (every delivery model works, including
+  :class:`~repro.sim.transport.AdversarialScheduler` — its non-uniform
+  delays simply use the per-message dispatch loop), and the oracle's
+  differential runner holds it per-round digest-identical to the fast
+  path.  Requires numpy; constructing a vector engine without it raises
+  an :class:`ImportError` naming the fix.
+
 The fast path keeps the ground-truth *sets* behind :attr:`knowledge` in
 one of two regimes.  With ``enforce_legality=True`` they are maintained
 eagerly (the legality guard needs them for its one-``issuperset``-probe
@@ -65,8 +85,13 @@ set maintenance at all.  Note the contract this rests on:
 not a license to cheat — an illegal protocol run without enforcement has
 undefined ground truth on either path (the legacy path happens to learn
 smuggled real ids; the fast path happens not to).  Run anything
-untrusted with the default ``enforce_legality=True``, where both paths
-raise identical :class:`ProtocolViolation`\\ s.
+untrusted with the default ``enforce_legality=True``, where all
+backends raise identical :class:`ProtocolViolation`\\ s.  The vector
+backend keeps the sets lazily in *both* regimes: with enforcement on
+they are synchronized once at the start of every round (knowledge only
+changes at round boundaries, so that is exactly when the legality guard
+needs them current), and without enforcement only on external
+:attr:`knowledge` reads.
 
 See docs/PERF.md for the measured effect of each of these changes.
 """
@@ -102,12 +127,16 @@ from .node import ProtocolNode
 from .observers import Observer
 from .rng import derive_rng
 from .transport import BoundedJitter, DeliveryModel, Lockstep, parse_delivery
+from .vector_kernel import VectorState, np, pack_message_ids
 
 NodeFactory = Callable[[int], ProtocolNode]
 GoalPredicate = Callable[["SynchronousEngine"], bool]
 
 #: Named goal predicates selectable by string.
 GOALS = ("strong", "weak", "strong_alive")
+
+#: Engine execution backends selectable by string.
+BACKENDS = ("legacy", "fast", "vector")
 
 #: Phase keys reported by the ``profile=True`` timing hooks.
 PROFILE_PHASES = ("protocol", "dispatch", "deliver", "observers")
@@ -179,6 +208,10 @@ class SynchronousEngine:
             the bench harness, CLI, and :func:`repro.discover` pass
             ``True``.  Produces bit-identical :class:`RunResult`\\ s;
             the differential test suite holds the two paths equal.
+        backend: Execution backend by name — ``"legacy"``, ``"fast"``,
+            or ``"vector"`` (the bit-packed numpy kernel; requires
+            numpy).  ``None`` (the default) defers to ``fast_path``.
+            An explicit backend always wins over ``fast_path``.
         profile: Accumulate per-phase wall-clock timings (exposed as
             :attr:`phase_timings` and ``RunResult.extra["phase_timings"]``).
         algorithm_name / params: Metadata copied into the result.
@@ -198,6 +231,7 @@ class SynchronousEngine:
         observers: Iterable[Observer] = (),
         enforce_legality: bool = True,
         fast_path: bool = False,
+        backend: Optional[str] = None,
         profile: bool = False,
         algorithm_name: str = "custom",
         params: Optional[Mapping[str, Any]] = None,
@@ -219,7 +253,14 @@ class SynchronousEngine:
         self.goal = goal
         self._goal_fn = self._resolve_goal(goal)
         self.enforce_legality = enforce_legality
-        self.fast_path = bool(fast_path)
+        if backend is None:
+            backend = "fast" if fast_path else "legacy"
+        elif backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
+        self.fast_path = backend == "fast"
         self.profile = bool(profile)
         self._phase_timings: Dict[str, float] = dict.fromkeys(PROFILE_PHASES, 0.0)
         self.algorithm_name = algorithm_name
@@ -263,8 +304,10 @@ class SynchronousEngine:
             initial = set(adjacency[node])
             initial.add(node)
             self._ksets[node] = initial
-        if self.fast_path:
+        if self.backend == "fast":
             self._init_fast_state()
+        elif self.backend == "vector":
+            self._init_vector_state()
         else:
             self._init_legacy_state()
         self._rebuild_alive_counters()
@@ -320,6 +363,20 @@ class SynchronousEngine:
             # Mask-only regime: the sets are a lazily-synchronized cache.
             self._kcache_masks = list(self._kmasks)
 
+    def _init_vector_state(self) -> None:
+        state = VectorState(self.n)  # raises a clear error without numpy
+        index = self._index
+        for node in self.node_ids:
+            state.seed_row(
+                index[node], [index[target] for target in self._ksets[node]]
+            )
+        self._complete_nodes = int(state.complete.sum())
+        self._vstate = state
+        # ``{row_index: row value at the last knowledge-set sync}`` — the
+        # vector analogue of ``_kcache_masks``, kept sparse so rows that
+        # never change (the steady-state common case) cost nothing.
+        self._vdirty: Dict[int, Any] = {}
+
     @property
     def knowledge(self) -> Dict[int, Set[int]]:
         """Ground-truth knowledge sets, keyed by machine id.
@@ -341,9 +398,18 @@ class SynchronousEngine:
         how often it is called.
         """
         node_ids = self.node_ids
+        ksets = self._ksets
+        if self.backend == "vector":
+            state = self._vstate
+            for idx, cached_row in self._vdirty.items():
+                known = ksets[node_ids[idx]]
+                for bit in state.row_new_bits(idx, cached_row).tolist():
+                    known.add(node_ids[bit])
+            self._vdirty.clear()
+            self._ksets_stale = False
+            return
         kmasks = self._kmasks
         cache = self._kcache_masks
-        ksets = self._ksets
         for idx, mask in enumerate(kmasks):
             fresh = mask & ~cache[idx]
             if fresh:
@@ -427,6 +493,14 @@ class SynchronousEngine:
         """
         if self._complete_nodes == 0:
             return None
+        if self.backend == "vector":
+            # Same reduction, one numpy call: bit j of the running AND
+            # survives iff everyone knows machine j.
+            state = self._vstate
+            common = state.common_knowledge_row()
+            np.bitwise_and(common, state.complete_row, out=common)
+            bit = state.first_set_bit(common)
+            return None if bit is None else self.node_ids[bit]
         if self.fast_path:
             # Bit j survives the AND of all knowledge masks iff everyone
             # knows machine j; intersecting with the complete-node mask
@@ -497,8 +571,73 @@ class SynchronousEngine:
                 if count == len(self._alive):
                     self._alive_complete += 1
 
+    def _apply_vector_deltas(self, old_rows: Mapping[int, Any]) -> None:
+        """End-of-delivery counter maintenance for the vector backend.
+
+        *old_rows* maps each row index that learned this round to a copy
+        of its pre-round value; monotonicity makes ``new & ~old`` exactly
+        what the round taught, from which every derived counter
+        (completion, alive coverage, the lazy set cache) follows."""
+        state = self._vstate
+        node_ids = self.node_ids
+        alive = self._alive
+        alive_row = self._alive_row
+        alive_target = len(alive)
+        vdirty = self._vdirty
+        for row_index, old_row in old_rows.items():
+            gained = state.apply_delta(row_index, old_row)
+            if gained == 0:
+                continue
+            if state.complete[row_index]:
+                # A row that just gained bits cannot have been complete
+                # before, so reaching completeness here is a transition.
+                self._complete_nodes += 1
+            self._ksets_stale = True
+            if row_index not in vdirty:
+                vdirty[row_index] = old_row
+            node = node_ids[row_index]
+            if node in alive:
+                if alive_row is None:
+                    alive_gain = gained
+                else:
+                    alive_gain = state.delta_alive_gain(
+                        row_index, old_row, alive_row
+                    )
+                if alive_gain:
+                    count = self._alive_known[node] + alive_gain
+                    self._alive_known[node] = count
+                    if count == alive_target:
+                        self._alive_complete += 1
+
     def _rebuild_alive_counters(self) -> None:
         alive = self._alive
+        if self.backend == "vector":
+            state = self._vstate
+            node_ids = self.node_ids
+            if len(alive) == self.n:
+                # Everyone alive: coverage of the alive set is plain
+                # knowledge size, and the delta path can reuse its
+                # popcounts directly (``_alive_row is None`` sentinel).
+                self._alive_row = None
+                self._alive_known = dict(
+                    zip(node_ids, state.sizes.tolist())
+                )
+            else:
+                index = self._index
+                dense_alive = sorted(index[node] for node in alive)
+                self._alive_row = state.pack_indices(dense_alive)
+                counts = state.masked_popcounts(
+                    np.asarray(dense_alive, dtype=np.intp), self._alive_row
+                ).tolist()
+                self._alive_known = {
+                    node_ids[idx]: count
+                    for idx, count in zip(dense_alive, counts)
+                }
+            target = len(alive)
+            self._alive_complete = sum(
+                1 for count in self._alive_known.values() if count == target
+            )
+            return
         if self.fast_path:
             alive_mask = self._mask_from_ids(alive)
             self._alive_mask = alive_mask
@@ -546,7 +685,9 @@ class SynchronousEngine:
                 self._inboxes.pop(node, None)
             self._rebuild_alive_counters()
 
-        if self.fast_path:
+        if self.backend == "vector":
+            self._step_vector()
+        elif self.fast_path:
             self._step_fast()
         else:
             self._step_legacy()
@@ -623,20 +764,18 @@ class SynchronousEngine:
         if profile:
             self._phase_timings["deliver"] += perf_counter() - tick
 
-    def _step_fast(self) -> None:
-        """Dense round body: bulk set operations, mask-mirrored counters,
-        completion short-circuits, and batched accounting."""
-        profile = self.profile
-        tick = perf_counter() if profile else 0.0
+    def _collect_sends_dense(
+        self, crashed: Optional[Mapping[int, int]], joins: Optional[JoinPlan]
+    ) -> List[Message]:
+        """Protocol phase shared by the fast and vector backends: run
+        every live, non-dormant node against its inbox and drain the
+        outboxes, legality-checking each with the one-probe-per-message
+        guard when enforcement is on."""
         round_no = self.round_no
         enforce = self.enforce_legality
-
-        crashed = self._faults.crashed_map
-        joins = self._joins if self._joins.join_rounds else None
         inboxes = self._inboxes
-        nodes = self.nodes
         sends: List[Message] = []
-        for node, protocol in nodes.items():
+        for node, protocol in self.nodes.items():
             if crashed and node in crashed:
                 continue
             if joins is not None and joins.is_dormant(node, round_no):
@@ -648,13 +787,15 @@ class SynchronousEngine:
                 if enforce:
                     self._check_legality_fast(node, outbox)
                 sends.extend(outbox)
+        return sends
 
-        if profile:
-            now = perf_counter()
-            self._phase_timings["protocol"] += now - tick
-            tick = now
-
-        next_round = round_no + 1
+    def _dispatch_sends_dense(self, sends: List[Message]) -> None:
+        """Dispatch phase shared by the fast and vector backends:
+        batched per-kind accounting, the wholesale fault-free
+        uniform-delay bucket hand-off, and the per-message fault/submit
+        loop otherwise."""
+        round_no = self.round_no
+        enforce = self.enforce_legality
         delivery = self.delivery
         log = self._delivery_log
         if sends:
@@ -711,6 +852,29 @@ class SynchronousEngine:
                     {DROP_CRASH: dropped_crash} if dropped_crash else None
                 ),
             )
+
+    def _step_fast(self) -> None:
+        """Dense round body: bulk set operations, mask-mirrored counters,
+        completion short-circuits, and batched accounting."""
+        profile = self.profile
+        tick = perf_counter() if profile else 0.0
+        round_no = self.round_no
+        enforce = self.enforce_legality
+
+        crashed = self._faults.crashed_map
+        joins = self._joins if self._joins.join_rounds else None
+        nodes = self.nodes
+        sends = self._collect_sends_dense(crashed, joins)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["protocol"] += now - tick
+            tick = now
+
+        next_round = round_no + 1
+        delivery = self.delivery
+        log = self._delivery_log
+        self._dispatch_sends_dense(sends)
 
         if profile:
             now = perf_counter()
@@ -859,6 +1023,141 @@ class SynchronousEngine:
         if profile:
             self._phase_timings["deliver"] += perf_counter() - tick
 
+    def _step_vector(self) -> None:
+        """Bit-packed round body: one boolean gather and one chunked
+        matrix screen decide which deliveries can teach; only those pay
+        the packbits protocol-boundary translation and a row ``OR``.
+
+        Per-message learning follows the exact fast-path candidate rule
+        ``(ids | sender) & (K[sender] | sender) & ~K[recipient]``
+        against the *current* rows, applied in delivery order, so the
+        two backends stay digest-identical round by round.  The screen
+        itself is evaluated against the rows as of the start of the
+        delivery batch, which is sound because knowledge is monotone and
+        legal traffic only carries ids its sender knew at send time (for
+        illegal traffic with enforcement off, ground truth is undefined
+        on every backend — see the module docstring)."""
+        profile = self.profile
+        tick = perf_counter() if profile else 0.0
+        round_no = self.round_no
+
+        if self.enforce_legality and self._ksets_stale:
+            # The legality guard probes the knowledge *sets*; knowledge
+            # last changed at the previous round boundary, so one sync
+            # here makes them current for the whole protocol phase.
+            self._sync_knowledge_sets()
+        crashed = self._faults.crashed_map
+        joins = self._joins if self._joins.join_rounds else None
+        nodes = self.nodes
+        sends = self._collect_sends_dense(crashed, joins)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["protocol"] += now - tick
+            tick = now
+
+        next_round = round_no + 1
+        delivery = self.delivery
+        log = self._delivery_log
+        self._dispatch_sends_dense(sends)
+
+        if profile:
+            now = perf_counter()
+            self._phase_timings["dispatch"] += now - tick
+            tick = now
+
+        next_inboxes: Dict[int, List[Message]] = {}
+        pending, delays = delivery.pending(next_round)
+        if pending:
+            state = self._vstate
+            index = self._index
+            metrics = self.metrics
+            track = log is not None
+            if track or delivery.filters_delivery or crashed or joins is not None:
+                # Screening pre-pass: resolve crash/dormancy losses,
+                # delivery-time filtering, and observer logging up front
+                # so the batched phase below sees only messages that
+                # will actually land.
+                filters = delivery.filters_delivery
+                delay = delivery.uniform_delay or 1
+                delay_iter = iter(delays) if delays is not None else None
+                kept: List[Message] = []
+                keep = kept.append
+                for message in pending:
+                    if delay_iter is not None:
+                        delay = next(delay_iter)
+                    recipient = message.recipient
+                    if crashed and recipient in crashed:
+                        metrics.record_in_flight_loss(DROP_CRASH)
+                        if track:
+                            log.append((message, delay, DROP_CRASH))
+                        continue
+                    if joins is not None and joins.is_dormant(
+                        recipient, next_round
+                    ):
+                        metrics.record_in_flight_loss(DROP_DORMANT)
+                        if track:
+                            log.append((message, delay, DROP_DORMANT))
+                        continue
+                    if filters:
+                        reason = delivery.drop_reason(
+                            message.sender, recipient, next_round
+                        )
+                        if reason is not None:
+                            metrics.record_in_flight_loss(reason)
+                            if track:
+                                log.append((message, delay, reason))
+                            continue
+                    if track:
+                        log.append((message, delay, None))
+                    keep(message)
+                pending = kept
+            if pending:
+                count = len(pending)
+                senders = np.fromiter(
+                    (index[message.sender] for message in pending),
+                    dtype=np.intp,
+                    count=count,
+                )
+                recipients = np.fromiter(
+                    (index[message.recipient] for message in pending),
+                    dtype=np.intp,
+                    count=count,
+                )
+                teaches = state.screen(senders, recipients).tolist()
+                sender_list = senders.tolist()
+                recipient_list = recipients.tolist()
+                # ``{id(ids): packed row}`` for this batch: protocols
+                # routinely send one snapshot object to many peers.
+                pack_cache: Dict[int, Any] = {}
+                # ``{row_index: pre-round row copy}`` for the delta pass.
+                old_rows: Dict[int, Any] = {}
+                for pos, message in enumerate(pending):
+                    recipient = message.recipient
+                    bucket = next_inboxes.get(recipient)
+                    if bucket is None:
+                        next_inboxes[recipient] = [message]
+                    else:
+                        bucket.append(message)
+                    if teaches[pos]:
+                        si = sender_list[pos]
+                        ri = recipient_list[pos]
+                        packed = pack_message_ids(
+                            message.ids, si, index, state, pack_cache
+                        )
+                        add = state.message_add(si, ri, packed)
+                        if add is not None:
+                            if ri not in old_rows:
+                                old_rows[ri] = state.K[ri].copy()
+                            state.or_into(ri, add)
+                    nodes[recipient].absorb(message)
+                if old_rows:
+                    self._apply_vector_deltas(old_rows)
+        self._inboxes = next_inboxes
+
+        if profile:
+            self._phase_timings["deliver"] += perf_counter() - tick
+
     def _check_legality(self, node: int, outbox: Sequence[Message]) -> None:
         """Reference legality scan; raises on the first violation."""
         knowledge = self._ksets[node]
@@ -928,7 +1227,13 @@ class SynchronousEngine:
         """
         digest = hashlib.sha256()
         nbytes = (self.n + 7) >> 3
-        if self.fast_path:
+        if self.backend == "vector":
+            # The matrix *is* the canonical byte string: C-contiguous
+            # little-endian packed rows in dense (sorted-id) order, so
+            # one buffer-protocol update hashes the whole state without
+            # materializing any intermediate bytes.
+            digest.update(self._vstate.digest_view())
+        elif self.fast_path:
             for mask in self._kmasks:
                 digest.update(mask.to_bytes(nbytes, "little"))
         else:

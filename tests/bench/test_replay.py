@@ -7,6 +7,7 @@ import pytest
 from repro.algorithms.registry import get_algorithm
 from repro.bench.replay import RecordedRun, record_run, replay_engine
 from repro.graphs import make_topology
+from repro.sim import BACKENDS, vector_available
 
 
 @pytest.fixture(scope="module")
@@ -44,9 +45,11 @@ class TestRecordRun:
 
 
 class TestReplay:
-    @pytest.mark.parametrize("fast_path", [False, True])
-    def test_full_replay_reproduces_the_run(self, recorded, fast_path):
-        engine = replay_engine(recorded, fast_path=fast_path)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_replay_reproduces_the_run(self, recorded, backend):
+        if backend == "vector" and not vector_available():
+            pytest.skip("numpy unavailable")
+        engine = replay_engine(recorded, backend=backend, force=True)
         for _ in range(recorded.rounds):
             engine.step()
         assert engine.is_strongly_complete()
@@ -56,8 +59,10 @@ class TestReplay:
 
     def test_partial_replay_matches_full_tail(self, recorded):
         start = 5
-        legacy = replay_engine(recorded, start_round=start, fast_path=False)
-        fast = replay_engine(recorded, start_round=start, fast_path=True)
+        legacy = replay_engine(recorded, start_round=start, backend="legacy")
+        fast = replay_engine(
+            recorded, start_round=start, backend="fast", force=True
+        )
         for _ in range(recorded.window(start)):
             legacy.step()
             fast.step()
@@ -71,3 +76,28 @@ class TestReplay:
         expected = recorded.result.pointers - skipped
         assert legacy.metrics.total_pointers == expected
         assert fast.metrics.total_pointers == expected
+
+
+class TestBackendRefusal:
+    """Recordings carry their backend; cross-backend replay needs force."""
+
+    def test_recording_captures_backend(self, recorded):
+        assert recorded.backend == "legacy"
+
+    def test_same_backend_replays_without_force(self, recorded):
+        engine = replay_engine(recorded, backend="legacy")
+        assert engine.backend == "legacy"
+
+    @pytest.mark.parametrize("backend", ["fast", "vector"])
+    def test_cross_backend_refused_without_force(self, recorded, backend):
+        with pytest.raises(ValueError, match="force"):
+            replay_engine(recorded, backend=backend)
+
+    def test_fast_path_alias_is_also_refused(self, recorded):
+        # The boolean alias resolves to "fast" and hits the same check.
+        with pytest.raises(ValueError, match="force"):
+            replay_engine(recorded, fast_path=True)
+
+    def test_force_allows_cross_backend(self, recorded):
+        engine = replay_engine(recorded, backend="fast", force=True)
+        assert engine.backend == "fast"

@@ -9,13 +9,14 @@ from repro.bench.seeds import CANONICAL_SEEDS, SCALES, bench_scale
 
 class TestScales:
     def test_known_scales(self):
-        assert set(SCALES) == {"small", "full"}
+        assert set(SCALES) == {"small", "full", "large"}
 
-    def test_small_is_smaller(self):
-        small, full = SCALES["small"], SCALES["full"]
+    def test_scales_are_ordered(self):
+        small, full, large = SCALES["small"], SCALES["full"], SCALES["large"]
         assert max(small.sweep_sizes) < max(full.sweep_sizes)
+        assert max(full.sweep_sizes) < max(large.sweep_sizes)
         assert small.seed_count <= full.seed_count
-        assert small.big_n < full.big_n
+        assert small.big_n < full.big_n < large.big_n
 
     def test_seeds_are_canonical_prefixes(self):
         for scale in SCALES.values():

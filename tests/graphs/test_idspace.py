@@ -4,7 +4,39 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs.idspace import densify, make_id_mapping
+from repro.graphs.idspace import dense_index, densify, make_id_mapping
+
+
+class TestDenseIndex:
+    def test_non_contiguous_ids(self):
+        ordered, index = dense_index([900, 3, 77, 12])
+        assert ordered == (3, 12, 77, 900)
+        assert index == {3: 0, 12: 1, 77: 2, 900: 3}
+
+    def test_round_trips_with_densify(self):
+        ids = [2**40 + 5, 0, 19, 6]
+        ordered, index = dense_index(ids)
+        assert index == densify(ids)
+        assert all(ordered[bit] == node for node, bit in index.items())
+
+    def test_single_node(self):
+        ordered, index = dense_index([42])
+        assert ordered == (42,)
+        assert index == {42: 0}
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(ValueError, match=r"duplicate node ids.*\[7\]"):
+            dense_index([1, 7, 7, 9])
+
+    def test_duplicates_reported_sorted_and_capped(self):
+        ids = [5, 5, 3, 3, 8, 8, 1]
+        with pytest.raises(ValueError, match=r"\[3, 5, 8\]"):
+            dense_index(ids)
+
+    def test_accepts_mapping_keys(self):
+        ordered, index = dense_index({10: "a", 4: "b"})
+        assert ordered == (4, 10)
+        assert index == {4: 0, 10: 1}
 
 
 class TestMakeIdMapping:

@@ -9,10 +9,12 @@ from repro.oracle.differential import (
     diff_engines,
     diff_fast_vs_legacy,
     diff_reduction,
+    diff_vector_vs_fast,
     engine_digest,
     lockstep_reduction,
 )
 from repro.oracle.fuzzer import make_skip_delivery_hook
+from repro.sim import vector_available
 
 CLEAN = ScheduleScript(
     algorithm="sublog", topology="kout", n=16, seed=7, topology_params={"k": 3}
@@ -64,6 +66,31 @@ class TestFastVsLegacy:
         )
         assert not report.equal
         assert report.divergence.round_no == 0
+
+
+@pytest.mark.skipif(not vector_available(), reason="numpy unavailable")
+class TestVectorVsFast:
+    @pytest.mark.parametrize("script", (CLEAN, HOSTILE), ids=("clean", "hostile"))
+    def test_backends_agree(self, script):
+        report = diff_vector_vs_fast(script)
+        assert report.equal
+        assert report.completed
+        assert "vector == fast-path" in report.describe()
+
+    def test_divergence_is_localized(self):
+        engine_a = CLEAN.build_engine(backend="vector")
+        engine_b = CLEAN.build_engine(backend="fast")
+        make_skip_delivery_hook()(engine_a)
+        report = diff_engines(
+            engine_a, engine_b, max_rounds=CLEAN.resolved_max_rounds(),
+            label_a="vector", label_b="fast-path",
+        )
+        assert not report.equal
+        assert report.divergence is not None
+
+    def test_enforcement_toggle_passthrough(self):
+        report = diff_vector_vs_fast(CLEAN, enforce_legality=False)
+        assert report.equal
 
 
 class TestLockstepReduction:

@@ -175,6 +175,34 @@ class TestInjectedBugSelfTest:
         assert minimal.topology == "path"
         assert minimal.n <= 4
 
+    def test_check_script_reports_vector_divergence(self, monkeypatch):
+        # A vector-only miscompare must surface under its own status so
+        # triage can tell a backend bug from a transport bug.  Fake the
+        # vector leg's report: sabotaging only the vector engine inside
+        # check_script is not reachable from the outside.
+        import repro.oracle.fuzzer as fuzzer_mod
+        from repro.oracle.differential import DiffReport, Divergence
+
+        clean = ScheduleScript(
+            algorithm="flooding", topology="cycle", n=8, seed=13
+        )
+        assert check_script(clean, reduction=False) is None
+
+        bad = DiffReport(
+            label_a="vector", label_b="fast-path", equal=False, rounds=2,
+            completed=False,
+            divergence=Divergence(2, "knowledge", "a", "b"),
+        )
+        monkeypatch.setattr(fuzzer_mod, "vector_available", lambda: True)
+        monkeypatch.setattr(
+            fuzzer_mod, "diff_vector_vs_fast", lambda script: bad
+        )
+        failure = check_script(clean, reduction=False)
+        assert failure is not None
+        kind, detail = failure
+        assert kind == "vector-divergence"
+        assert "vector != fast-path" in detail
+
     def test_fuzz_loop_shrinks_failures(self):
         report = fuzz(
             cases=2,
