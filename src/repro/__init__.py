@@ -53,7 +53,12 @@ from .sim import (
     parse_delivery,
 )
 
-__version__ = "1.0.0"
+try:  # single-source: pyproject.toml is authoritative once installed
+    from importlib.metadata import PackageNotFoundError, version
+
+    __version__ = version("repro")
+except PackageNotFoundError:  # running from a source tree without install
+    __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",

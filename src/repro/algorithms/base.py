@@ -1,17 +1,24 @@
 """Common machinery for discovery protocol implementations.
 
-:class:`DiscoveryNode` extends the simulator's :class:`ProtocolNode` with
-the bookkeeping every gossip-style algorithm needs: knowledge snapshots
-(shared, copy-once frozensets so that a broadcast to many recipients does
-not materialize the pointer set per recipient) and delta tracking (ids
-learned since the last send).
+:class:`DiscoveryNode` extends the protocol core's :class:`ProtocolNode`
+with the bookkeeping every gossip-style algorithm needs: knowledge
+snapshots (shared, copy-once frozensets so that a broadcast to many
+recipients does not materialize the pointer set per recipient) and delta
+tracking (ids learned since the last send).
+
+Both caches are derived views of ``self.known``; they are invalidated
+through the core's :meth:`~repro.sim.node.ProtocolNode._knowledge_changed`
+hook, which fires for *every* sanctioned knowledge write (``absorb``,
+``bind``, and host-side ``learn()`` calls alike) — so no host can teach a
+node and then read a stale snapshot.
 """
 
 from __future__ import annotations
 
+import random
 from typing import FrozenSet, Optional, Set
 
-from ..sim.messages import Message
+
 from ..sim.node import ProtocolNode
 
 
@@ -23,8 +30,7 @@ class DiscoveryNode(ProtocolNode):
         self._snapshot: Optional[FrozenSet[int]] = None
         self._sent_before: Set[int] = set()
 
-    def absorb(self, message: Message) -> None:
-        super().absorb(message)
+    def _knowledge_changed(self) -> None:
         self._snapshot = None  # knowledge changed; invalidate cache
 
     def knowledge_snapshot(self, include_self: bool = True) -> FrozenSet[int]:
@@ -48,14 +54,17 @@ class DiscoveryNode(ProtocolNode):
         """Record that everything currently known has been shared."""
         self._sent_before = set(self.known)
 
-    def pick_random_peer(self) -> Optional[int]:
+    def pick_random_peer(self, rng: Optional[random.Random] = None) -> Optional[int]:
         """A uniformly random known machine other than self, or ``None``.
 
-        Sorting before sampling keeps runs deterministic in the seed:
-        Python set iteration order depends on insertion history, which in
-        turn depends on inbox ordering — sorting removes that sensitivity.
+        Draws from *rng* (defaulting to the node's bound stream).  Sorting
+        before sampling keeps runs deterministic in the seed: Python set
+        iteration order depends on insertion history, which in turn
+        depends on inbox ordering — sorting removes that sensitivity.
         """
         peers = sorted(self.known - {self.node_id})
         if not peers:
             return None
-        return peers[self.rng.randrange(len(peers))]
+        if rng is None:
+            rng = self.rng
+        return peers[rng.randrange(len(peers))]

@@ -19,7 +19,8 @@ Reference: Harchol-Balter, Leighton, Lewin, PODC 1999 (baseline section).
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+import random
+from typing import List, Sequence, Set
 
 from ..sim.messages import Message
 from .base import DiscoveryNode
@@ -36,21 +37,25 @@ class FloodingNode(DiscoveryNode):
     def setup(self) -> None:
         self._neighbors = set(self.known - {self.node_id})
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> List[Message]:
         for message in inbox:
             self._neighbors.add(message.sender)
 
         delta = self.unsent_delta()
         self.mark_sent()
         full = self.knowledge_snapshot(include_self=False)
+        outbox: List[Message] = []
         for neighbor in sorted(self._neighbors):
             if neighbor not in self._greeted:
                 # First contact: ship everything we know so the neighbor
                 # catches up on deltas it missed, and introduce ourselves
                 # (the empty message still reveals our address).
                 self._greeted.add(neighbor)
-                self.send(neighbor, "flood", ids=full - {neighbor})
+                outbox.append(self.message(neighbor, "flood", ids=full - {neighbor}))
             else:
                 payload = delta - {neighbor}
                 if payload:
-                    self.send(neighbor, "flood", ids=payload)
+                    outbox.append(self.message(neighbor, "flood", ids=payload))
+        return outbox

@@ -22,7 +22,8 @@ round analysis depends on every push carrying the sender's complete view.
 
 from __future__ import annotations
 
-from typing import Sequence
+import random
+from typing import List, Sequence
 
 from ..sim.messages import Message
 from .base import DiscoveryNode
@@ -44,16 +45,20 @@ class NameDropperNode(DiscoveryNode):
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.mode = mode
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> List[Message]:
         snapshot = self.knowledge_snapshot(include_self=False)
+        outbox: List[Message] = []
 
         if self.mode == "pushpull":
             pushers = sorted(
                 {message.sender for message in inbox if message.kind == "push"}
             )
             for pusher in pushers:
-                self.send(pusher, "pullback", ids=snapshot - {pusher})
+                outbox.append(self.message(pusher, "pullback", ids=snapshot - {pusher}))
 
-        peer = self.pick_random_peer()
+        peer = self.pick_random_peer(rng)
         if peer is not None:
-            self.send(peer, "push", ids=snapshot - {peer})
+            outbox.append(self.message(peer, "push", ids=snapshot - {peer}))
+        return outbox

@@ -19,6 +19,7 @@ random graphs (measured, not proven, here).
 
 from __future__ import annotations
 
+import random
 from typing import List, Sequence
 
 from ..sim.messages import Message
@@ -28,7 +29,10 @@ from .base import DiscoveryNode
 class RandomPointerJumpNode(DiscoveryNode):
     """One machine running random pointer jump (pull gossip)."""
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> List[Message]:
+        outbox: List[Message] = []
         # Serve pulls that arrived this round.
         requesters: List[int] = [
             message.sender for message in inbox if message.kind == "pull"
@@ -36,8 +40,11 @@ class RandomPointerJumpNode(DiscoveryNode):
         if requesters:
             snapshot = self.knowledge_snapshot(include_self=False)
             for requester in sorted(set(requesters)):
-                self.send(requester, "reply", ids=snapshot - {requester})
+                outbox.append(
+                    self.message(requester, "reply", ids=snapshot - {requester})
+                )
 
-        peer = self.pick_random_peer()
+        peer = self.pick_random_peer(rng)
         if peer is not None:
-            self.send(peer, "pull")
+            outbox.append(self.message(peer, "pull"))
+        return outbox

@@ -30,7 +30,8 @@ Reference: Harchol-Balter, Leighton, Lewin, PODC 1999.
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+import random
+from typing import List, Sequence, Set
 
 from ..sim.messages import Message
 from .base import DiscoveryNode
@@ -50,7 +51,9 @@ class SwampingNode(DiscoveryNode):
         self.full = full
         self._greeted: Set[int] = set()
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> List[Message]:
         # One shared snapshot per round: all recipients receive the SAME
         # frozenset object.  Subtracting the recipient per message
         # (``snapshot - {peer}``) would materialize n fresh n-element sets
@@ -59,17 +62,19 @@ class SwampingNode(DiscoveryNode):
         # knows itself) and matches HBLL's definition, where a machine
         # ships its entire pointer list.
         snapshot = self.knowledge_snapshot(include_self=False)
+        outbox: List[Message] = []
         if self.full:
             for peer in sorted(snapshot):
-                self.send(peer, "swamp", ids=snapshot)
-            return
+                outbox.append(self.message(peer, "swamp", ids=snapshot))
+            return outbox
 
         delta = self.unsent_delta()
         self.mark_sent()
         for peer in sorted(snapshot):
             if peer not in self._greeted:
                 self._greeted.add(peer)
-                self.send(peer, "swamp", ids=snapshot)
+                outbox.append(self.message(peer, "swamp", ids=snapshot))
             else:
                 if delta and not (len(delta) == 1 and peer in delta):
-                    self.send(peer, "swamp", ids=delta)
+                    outbox.append(self.message(peer, "swamp", ids=delta))
+        return outbox

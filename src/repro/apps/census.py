@@ -36,12 +36,28 @@ class Census:
         return self.min_id
 
 
+def discovery_params(algorithm: str, delivery: Optional[str]) -> dict:
+    """Per-algorithm engine params for an app-level discovery run.
+
+    The sublog variants run coordinator-only completion (the weak goal
+    needs no completion broadcast) and, under a hostile delivery model,
+    enable the self-healing knobs — the same policy the CLI applies.
+    """
+    params: dict = (
+        {"completion": "none"} if algorithm in ("sublog", "sublogcoin") else {}
+    )
+    if delivery is not None and delivery != "lockstep" and params:
+        params.update({"resilient": True, "stagnation_phases": 4})
+    return params
+
+
 def leader_census(
     graph: KnowledgeGraph,
     seed: int = 0,
     algorithm: str = "sublog",
     sample_size: int = 5,
     max_rounds: Optional[int] = None,
+    delivery: Optional[str] = None,
 ) -> Census:
     """Run weak discovery on *graph* and summarize the fleet.
 
@@ -52,6 +68,8 @@ def leader_census(
         sample_size: Size of the deterministic random sample included in
             the census (capped at the fleet size).
         max_rounds: Round cap override.
+        delivery: Delivery-model spec string (``None`` = lockstep); see
+            :func:`repro.sim.transport.parse_delivery`.
 
     Raises:
         RuntimeError: If discovery does not complete within the cap.
@@ -59,12 +77,13 @@ def leader_census(
     if sample_size < 0:
         raise ValueError(f"sample_size must be >= 0, got {sample_size}")
     spec = get_algorithm(algorithm)
-    params = {"completion": "none"} if algorithm in ("sublog", "sublogcoin") else {}
+    params = discovery_params(algorithm, delivery)
     engine = SynchronousEngine(
         graph,
         spec.node_factory(**params),
         seed=seed,
         goal="weak",
+        delivery=delivery,
         algorithm_name=algorithm,
         params=params,
     )

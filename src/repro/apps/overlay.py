@@ -24,6 +24,7 @@ from ..algorithms.registry import get_algorithm
 from ..graphs.knowledge import KnowledgeGraph
 from ..sim.engine import SynchronousEngine
 from ..sim.metrics import RunResult
+from .census import discovery_params
 
 
 def ring_successors(roster: Sequence[int]) -> Dict[int, int]:
@@ -129,20 +130,23 @@ def form_ring(
     seed: int = 0,
     algorithm: str = "sublog",
     max_rounds: Optional[int] = None,
+    delivery: Optional[str] = None,
 ) -> RingResult:
     """Run weak discovery on *graph* and build the sorted ring.
 
-    Raises ``RuntimeError`` when discovery does not complete within the
-    round cap (it always completes on weakly connected inputs with the
-    shipped algorithms; the error guards misuse).
+    ``delivery`` selects a delivery-model spec string (``None`` =
+    lockstep).  Raises ``RuntimeError`` when discovery does not complete
+    within the round cap (it always completes on weakly connected inputs
+    with the shipped algorithms; the error guards misuse).
     """
     spec = get_algorithm(algorithm)
-    params = {"completion": "none"} if algorithm in ("sublog", "sublogcoin") else {}
+    params = discovery_params(algorithm, delivery)
     engine = SynchronousEngine(
         graph,
         spec.node_factory(**params),
         seed=seed,
         goal="weak",
+        delivery=delivery,
         algorithm_name=algorithm,
         params=params,
     )

@@ -23,6 +23,7 @@ crashes, or jitter reshuffle deliveries.  Recording enforces that.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
@@ -129,22 +130,22 @@ def record_run(
     )
     schedule: Schedule = {}
 
-    def wrap(node: ProtocolNode) -> Callable[[], list]:
-        original = node.drain_outbox
+    def wrap(node: ProtocolNode) -> Callable[[int, Sequence[Message]], list]:
+        original = node.run_round
 
-        def recording_drain() -> list:
-            outbox = original()
+        def recording_run(round_no: int, inbox: Sequence[Message]) -> list:
+            outbox = original(round_no, inbox)
             if outbox:
-                schedule[(node.node_id, engine.round_no)] = tuple(outbox)
+                schedule[(node.node_id, round_no)] = tuple(outbox)
             return outbox
 
-        return recording_drain
+        return recording_run
 
     initial = {
         node: frozenset(known) - {node} for node, known in engine.knowledge.items()
     }
     for node in engine.nodes.values():
-        node.drain_outbox = wrap(node)  # type: ignore[method-assign]
+        node.run_round = wrap(node)  # type: ignore[method-assign]
     result = engine.run(max_rounds)
     return RecordedRun(
         initial=initial,
@@ -171,10 +172,10 @@ class ReplayNode(ProtocolNode):
     def absorb(self, message: Message) -> None:
         pass
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
-        outbox = self._schedule.get((self.node_id, round_no + self._offset))
-        if outbox:
-            self._outbox.extend(outbox)
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> Optional[Sequence[Message]]:
+        return self._schedule.get((self.node_id, round_no + self._offset))
 
 
 def replay_engine(

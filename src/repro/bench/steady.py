@@ -106,16 +106,14 @@ class SteadyNode(ProtocolNode):
     def absorb(self, message: Message) -> None:
         pass
 
-    def on_round(self, round_no: int, inbox) -> None:
+    def on_round(self, round_no: int, inbox, rng) -> Optional[List[Message]]:
         payload = self._payloads.get(round_no)
         if payload is None or self.node_id >= self._first_laggard:
-            return
+            return None
         if (self.node_id - round_no) % self._stride:
-            return
+            return None
         recipient = (self.node_id + self._hops[round_no]) % self._n
-        self._outbox.append(
-            Message("steady", self.node_id, recipient, payload)
-        )
+        return [Message("steady", self.node_id, recipient, payload)]
 
 
 def ring_adjacency(n: int) -> Dict[int, FrozenSet[int]]:

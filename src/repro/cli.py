@@ -18,6 +18,17 @@ Sub-commands:
 
       python -m repro fuzz --cases 50 --seed 7 --out fuzz.jsonl
       python -m repro fuzz --replay violation.json
+
+* ``serve`` — host the protocol core in the live asyncio runtime: a
+  TCP-loopback cluster of concurrent node tasks, optionally verified
+  digest-for-digest against a seeded simulator run::
+
+      python -m repro serve --n 8 --algorithm sublog --verify-digest
+
+* ``loadgen`` — concurrent census/ring lookups against a live cluster
+  (self-hosted, or ``--endpoints`` for one already running)::
+
+      python -m repro loadgen --n 8 --requests 200 --concurrency 8
 """
 
 from __future__ import annotations
@@ -312,6 +323,91 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .live.cluster import ClusterSpec, reference_digest, run_cluster
+
+    spec = ClusterSpec(
+        n=args.n,
+        topology=args.topology,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        rounds=args.rounds,
+        max_rounds=args.max_rounds,
+    )
+    started = time.perf_counter()
+    report = asyncio.run(run_cluster(spec))
+    elapsed = time.perf_counter() - started
+    print(f"algorithm : {report.algorithm}")
+    print(f"cluster   : n={report.n} seed={report.seed} (loopback TCP)")
+    print(f"complete  : {report.complete}")
+    print(f"rounds    : {report.rounds}")
+    print(f"messages  : {report.messages:,}")
+    print(f"digest    : {report.digest}")
+    print(f"wall time : {elapsed:.2f}s")
+    if args.verify_digest:
+        expected, sim_rounds = reference_digest(spec)
+        verdict = "MATCH" if expected == report.digest else "MISMATCH"
+        print(f"sim digest: {expected} (rounds={sim_rounds}) -> {verdict}")
+        if expected != report.digest:
+            return 1
+    return 0 if (report.complete or args.rounds is not None) else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .live.cluster import ClusterSpec, LiveCluster
+    from .live.loadgen import run_loadgen
+
+    async def drive() -> int:
+        if args.endpoints:
+            endpoints = []
+            for spec in args.endpoints.split(","):
+                host, _, port = spec.strip().rpartition(":")
+                endpoints.append((host or "127.0.0.1", int(port)))
+            cluster = None
+        else:
+            cluster = LiveCluster(
+                ClusterSpec(
+                    n=args.n,
+                    topology=args.topology,
+                    algorithm=args.algorithm,
+                    seed=args.seed,
+                )
+            )
+            await cluster.start()
+            report = await cluster.run_discovery()
+            if not report.complete:
+                print("error: discovery did not reach closure", file=sys.stderr)
+                await cluster.close()
+                return 1
+            print(f"cluster   : n={report.n} closed in {report.rounds} rounds")
+            endpoints = cluster.endpoints
+        try:
+            result = await run_loadgen(
+                endpoints,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                seed=args.seed,
+            )
+        finally:
+            if cluster is not None:
+                await cluster.close()
+        print(f"requests  : {result.requests} ({args.concurrency} workers)")
+        print(f"errors    : {result.errors}")
+        print(f"census    : leader={result.leader} count={result.count} "
+              f"consistent={result.census_consistent}")
+        print(f"ring      : valid={result.ring_valid}")
+        print(f"latency   : p50={result.latency_percentile(0.5):.2f}ms "
+              f"p99={result.latency_percentile(0.99):.2f}ms")
+        print(f"duration  : {result.duration_s:.2f}s")
+        return 0 if result.ok else 1
+
+    return asyncio.run(drive())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -319,6 +415,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Distributed Resource Discovery in "
             "Sub-Logarithmic Time' (Haeupler & Malkhi, PODC 2015)"
         ),
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -514,6 +615,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-case progress lines"
     )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a live TCP-loopback cluster of protocol nodes to closure",
+    )
+    serve_parser.add_argument("--algorithm", default="sublog", choices=algorithm_names())
+    serve_parser.add_argument("--topology", default="kout", choices=sorted(TOPOLOGIES))
+    serve_parser.add_argument("--n", type=int, default=8)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="run exactly this many rounds (disables closure stopping; "
+        "the strict mid-run digest comparison)",
+    )
+    serve_parser.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget override"
+    )
+    serve_parser.add_argument(
+        "--verify-digest",
+        action="store_true",
+        help="run the same (config, seed) through the simulator and "
+        "require byte-identical knowledge digests",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive concurrent census/overlay lookups against a live cluster",
+    )
+    loadgen_parser.add_argument(
+        "--endpoints",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="target an already-running cluster instead of self-hosting one",
+    )
+    loadgen_parser.add_argument(
+        "--algorithm", default="sublog", choices=algorithm_names()
+    )
+    loadgen_parser.add_argument("--topology", default="kout", choices=sorted(TOPOLOGIES))
+    loadgen_parser.add_argument("--n", type=int, default=8)
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument("--requests", type=int, default=100)
+    loadgen_parser.add_argument("--concurrency", type=int, default=8)
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
     return parser
 
 

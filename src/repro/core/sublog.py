@@ -66,6 +66,7 @@ revert to singleton clusters and re-discover.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms.base import DiscoveryNode
@@ -154,7 +155,9 @@ class SubLogNode(DiscoveryNode):
 
     # -- round dispatch ------------------------------------------------------------------
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> None:
         self._round = round_no
         for message in inbox:
             self._handle(message)

@@ -15,6 +15,7 @@ eccentricities, diameter) needed by the lower-bound machinery of
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import (
     Dict,
@@ -243,3 +244,33 @@ def complete_knowledge(node_ids: Sequence[int]) -> KnowledgeGraph:
     """The complete graph — the target state of strong discovery."""
     universe = frozenset(node_ids)
     return KnowledgeGraph({node: universe - {node} for node in node_ids})
+
+
+def digest_knowledge(knowledge: Mapping[int, Iterable[int]]) -> str:
+    """Canonical SHA-256 digest of a knowledge state.
+
+    Each machine's knowledge is rendered as a little-endian dense bitmask
+    (bit ``i`` = the ``i``-th smallest node id), and the per-machine masks
+    are concatenated in ascending-id order before hashing.  This is the
+    byte layout every host of the protocol core agrees on — the simulator's
+    three backends and the live asyncio runtime all reduce their final
+    state to this digest, which is how cross-host runs are checked for
+    bit-identity.  Ids naming no machine in ``knowledge`` are ignored,
+    keeping the digest well-defined when legality enforcement is off.
+
+    The machine's own id is expected to be present in its knowledge set
+    (every machine knows itself); callers holding self-less sets must add
+    it back before digesting.
+    """
+    node_ids = sorted(knowledge)
+    index = {node: position for position, node in enumerate(node_ids)}
+    nbytes = (len(node_ids) + 7) >> 3
+    digest = hashlib.sha256()
+    for node in node_ids:
+        buf = bytearray(nbytes)
+        for target in knowledge[node]:
+            bit = index.get(target)
+            if bit is not None:
+                buf[bit >> 3] |= 1 << (bit & 7)
+        digest.update(bytes(buf))
+    return digest.hexdigest()

@@ -1,0 +1,176 @@
+"""Orchestrate a live cluster and hold it to the simulator's answer.
+
+:class:`LiveCluster` spins up one :class:`~repro.live.node.LiveNodeRuntime`
+per machine of a generated topology, all on loopback with ephemeral
+ports (two-phase start: bind every server first, then publish the full
+directory), runs discovery to closure or for an exact round budget, and
+reduces the final state to the shared cross-host digest.
+
+:func:`reference_digest` runs the same ``(topology, algorithm, seed)``
+through :class:`~repro.sim.engine.SynchronousEngine` — closure mode
+mirrors ``engine.run``; exact-round mode steps the engine the same
+number of rounds the cluster ran, which is the *strict* form of the
+cross-host check (mid-run states are only equal if every round matched
+bit for bit, whereas completed runs all share the complete-knowledge
+digest).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..algorithms.registry import get_algorithm
+from ..graphs.generators import make_topology
+from ..graphs.knowledge import digest_knowledge
+from ..sim.engine import SynchronousEngine, default_max_rounds
+from ..sim.rng import derive_rng
+from .node import LiveNodeRuntime
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything that determines a live run (and its sim reference)."""
+
+    n: int = 8
+    topology: str = "kout"
+    algorithm: str = "sublog"
+    seed: int = 0
+    #: Exact round budget.  ``None`` runs to closure; a number runs
+    #: precisely that many rounds with closure-stopping disabled, for
+    #: strict mid-run digest comparison.
+    rounds: Optional[int] = None
+    max_rounds: Optional[int] = None
+    host: str = "127.0.0.1"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build_graph(self):
+        return make_topology(self.topology, self.n, seed=self.seed)
+
+    def node_factory(self):
+        return get_algorithm(self.algorithm).node_factory(**dict(self.params))
+
+    def round_budget(self) -> int:
+        if self.rounds is not None:
+            return self.rounds
+        if self.max_rounds is not None:
+            return self.max_rounds
+        return default_max_rounds(self.n)
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Outcome of one live discovery run."""
+
+    n: int
+    algorithm: str
+    seed: int
+    rounds: int
+    complete: bool
+    digest: str
+    messages: int
+
+
+class LiveCluster:
+    """A loopback fleet of live nodes running one discovery protocol."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.graph = spec.build_graph()
+        factory = spec.node_factory()
+        self.nodes: Dict[int, LiveNodeRuntime] = {}
+        for node_id in self.graph.node_ids:
+            protocol = factory(node_id)
+            protocol.bind(
+                self.graph.out(node_id), derive_rng(spec.seed, "node", node_id)
+            )
+            self.nodes[node_id] = LiveNodeRuntime(
+                protocol, self.graph.n, seed=spec.seed, host=spec.host
+            )
+
+    @property
+    def endpoints(self) -> List[Tuple[str, int]]:
+        return [
+            (runtime.host, runtime.port)
+            for runtime in self.nodes.values()
+            if runtime.port is not None
+        ]
+
+    async def start(self) -> None:
+        """Bind every server, then publish the completed directory."""
+        directory: Dict[int, Tuple[str, int]] = {}
+        for node_id, runtime in self.nodes.items():
+            directory[node_id] = await runtime.start()
+        for runtime in self.nodes.values():
+            runtime.set_directory(directory)
+
+    async def run_discovery(self) -> ClusterReport:
+        spec = self.spec
+        budget = spec.round_budget()
+        stop_on_closure = spec.rounds is None
+        await asyncio.gather(
+            *(
+                runtime.run_discovery(budget, stop_on_closure=stop_on_closure)
+                for runtime in self.nodes.values()
+            )
+        )
+        return ClusterReport(
+            n=self.graph.n,
+            algorithm=spec.algorithm,
+            seed=spec.seed,
+            rounds=max(runtime.rounds_run for runtime in self.nodes.values()),
+            complete=all(runtime.complete for runtime in self.nodes.values()),
+            digest=self.digest(),
+            messages=sum(
+                runtime.context.metrics.total_messages
+                for runtime in self.nodes.values()
+            ),
+        )
+
+    def knowledge(self) -> Dict[int, Set[int]]:
+        return {
+            node_id: set(runtime.protocol.known)
+            for node_id, runtime in self.nodes.items()
+        }
+
+    def digest(self) -> str:
+        return digest_knowledge(self.knowledge())
+
+    async def close(self) -> None:
+        await asyncio.gather(*(runtime.close() for runtime in self.nodes.values()))
+
+
+async def run_cluster(spec: ClusterSpec) -> ClusterReport:
+    """Start, run to the spec's budget, and tear down one cluster."""
+    cluster = LiveCluster(spec)
+    await cluster.start()
+    try:
+        return await cluster.run_discovery()
+    finally:
+        await cluster.close()
+
+
+def reference_digest(spec: ClusterSpec, rounds: Optional[int] = None) -> Tuple[str, int]:
+    """Simulator digest for *spec*: ``(digest, rounds_executed)``.
+
+    With *rounds* (or ``spec.rounds``) set, the engine is stepped exactly
+    that many times — the strict mid-run comparison.  Otherwise the
+    engine runs to its goal under the same round budget the cluster had.
+    """
+    engine = SynchronousEngine(
+        spec.build_graph(),
+        spec.node_factory(),
+        seed=spec.seed,
+        goal="strong",
+        algorithm_name=spec.algorithm,
+        params=dict(spec.params),
+    )
+    exact = rounds if rounds is not None else spec.rounds
+    if exact is not None:
+        for _ in range(exact):
+            engine.step()
+        return engine.knowledge_digest(), engine.round_no
+    result = engine.run(max_rounds=spec.round_budget())
+    del result
+    return engine.knowledge_digest(), engine.round_no

@@ -1,0 +1,173 @@
+"""Concurrent query load against a serving live cluster.
+
+After discovery closes, every live node can answer the service-plane
+queries that motivate resource discovery in the first place — the fleet
+summary of :mod:`repro.apps.census` and the ring-successor lookups of
+:mod:`repro.apps.overlay`.  The load generator drives those queries
+concurrently against the cluster's TCP endpoints and *checks the
+answers*, not just the latencies:
+
+* every ``census`` reply must agree with every other (same leader, same
+  count — the fleet has one truth once discovery is complete);
+* the ``succ`` replies, assembled across whatever endpoints happened to
+  serve them, must form a single sorted ring over the fleet
+  (:func:`repro.apps.overlay.verify_ring`).
+
+A workload that passes proves the live service returns the same
+structures the in-simulator apps compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..apps.overlay import verify_ring
+from ..sim.rng import derive_rng
+from .wire import encode_frame, read_frame
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one load-generation run."""
+
+    requests: int
+    errors: int
+    duration_s: float
+    census_consistent: bool
+    ring_valid: bool
+    leader: Optional[int] = None
+    count: Optional[int] = None
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0 and self.census_consistent and self.ring_valid
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+class _Worker:
+    """One connection-reusing query client."""
+
+    def __init__(self, endpoint: Tuple[str, int]) -> None:
+        self.endpoint = endpoint
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def query(self, payload: Mapping) -> Mapping:
+        if self._writer is None:
+            host, port = self.endpoint
+            self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise ConnectionError(f"endpoint {self.endpoint} closed mid-query")
+        return reply
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+async def run_loadgen(
+    endpoints: Sequence[Tuple[str, int]],
+    *,
+    requests: int = 100,
+    concurrency: int = 8,
+    seed: int = 0,
+) -> LoadgenReport:
+    """Drive *requests* census/succ lookups over *concurrency* workers.
+
+    Work is split round-robin across workers; each worker sticks to one
+    (seed-chosen) endpoint per request, mixing ``census`` and ``succ``
+    queries.  Every ``succ`` answer contributes an edge to a global
+    successor map validated as one ring at the end.
+    """
+    if not endpoints:
+        raise ValueError("loadgen needs at least one endpoint")
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    rng = derive_rng(seed, "loadgen")
+    censuses: List[Mapping] = []
+    successors: Dict[int, int] = {}
+    latencies: List[float] = []
+    errors = 0
+
+    # One known-roster probe seeds the succ queries with real ids.
+    probe = _Worker(endpoints[0])
+    try:
+        roster = sorted((await probe.query({"t": "known"}))["ids"])
+    finally:
+        probe.close()
+
+    plans: List[List[Mapping]] = [[] for _ in range(concurrency)]
+    for index in range(requests):
+        if index % 2 == 0 and roster:
+            of = roster[rng.randrange(len(roster))]
+            payload: Mapping = {"t": "succ", "of": of}
+        else:
+            payload = {"t": "census"}
+        plans[index % concurrency].append(payload)
+
+    async def drive(worker_index: int) -> None:
+        nonlocal errors
+        worker_rng = derive_rng(seed, "loadgen-worker", worker_index)
+        worker = _Worker(endpoints[worker_rng.randrange(len(endpoints))])
+        try:
+            for payload in plans[worker_index]:
+                started = time.perf_counter()
+                try:
+                    reply = await worker.query(payload)
+                except (OSError, ConnectionError):
+                    errors += 1
+                    continue
+                latencies.append((time.perf_counter() - started) * 1e3)
+                if reply["t"] == "census_reply":
+                    censuses.append(reply)
+                elif reply["t"] == "succ_reply":
+                    successors[reply["of"]] = reply["succ"]
+                else:
+                    errors += 1
+        finally:
+            worker.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(drive(index) for index in range(concurrency)))
+    duration = time.perf_counter() - started
+
+    census_consistent = bool(censuses) and all(
+        reply["leader"] == censuses[0]["leader"]
+        and reply["count"] == censuses[0]["count"]
+        for reply in censuses
+    )
+    # Partial maps can't be verified as a cycle; complete the edge set
+    # from the probed roster before checking (sampled edges must agree).
+    ring_valid = True
+    if successors:
+        expected = {
+            peer: roster[(index + 1) % len(roster)]
+            for index, peer in enumerate(roster)
+        }
+        ring_valid = verify_ring(expected) and all(
+            expected.get(of) == succ for of, succ in successors.items()
+        )
+    return LoadgenReport(
+        requests=requests,
+        errors=errors,
+        duration_s=duration,
+        census_consistent=census_consistent,
+        ring_valid=ring_valid,
+        leader=censuses[0]["leader"] if censuses else None,
+        count=censuses[0]["count"] if censuses else None,
+        latencies_ms=latencies,
+    )

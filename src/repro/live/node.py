@@ -1,0 +1,271 @@
+"""One live protocol node: TCP endpoint + marker-paced round loop.
+
+A :class:`LiveNodeRuntime` hosts exactly one protocol-core node
+(:class:`~repro.sim.node.ProtocolNode`) the way the simulator hosts n
+of them.  It owns a TCP server for inbound traffic, dials peers on
+demand through a cluster-provided directory (the live analog of the
+model's "address known ⇒ reachable" assumption), and advances rounds by
+*local ticks*: no coordinator, no global barrier object — a node enters
+round ``r + 1`` the moment it holds end-of-round markers for round
+``r`` from every peer.
+
+Determinism contract (what makes a live run digest-identical to a
+simulated one):
+
+* same per-node RNG stream — ``derive_rng(seed, "node", node_id)``,
+  exactly the engine's binding;
+* same inbox — round-``r`` traffic is buffered per sender and handed to
+  the transport as per-sender batches in ascending sender id, matching
+  the engine's sorted-id collection order, with per-connection TCP FIFO
+  plus the ptrs-before-eor send order guaranteeing batch completeness;
+* same absorb timing — a message sent in round ``r`` is absorbed after
+  round ``r``'s marker wait, i.e. before anyone runs round ``r + 1``,
+  which is the engine's end-of-round delivery.
+
+Closure detection lags one round by construction: the ``eor`` marker
+for round ``r`` carries the sender's completeness *entering* round
+``r``, so a cluster that is complete after round ``R`` unanimously
+flags it in the round-``R + 1`` markers and stops there — one round
+later than the simulator's same-round goal check, with knowledge
+already complete and therefore the digest unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..sim.messages import Message
+from ..sim.node import ProtocolNode
+from .transport import LiveHostContext, RealTransport
+from .wire import WireError, encode_frame, message_to_wire, read_frame, wire_to_message
+
+
+class LiveNodeRuntime:
+    """Host one protocol node as an asyncio task behind a TCP endpoint.
+
+    Args:
+        protocol: A bound protocol-core node (initial knowledge and RNG
+            already installed, exactly as the engine would have).
+        n: Fleet size — the strong-completion target ``len(known) == n``.
+        seed: Master seed (context/metrics bookkeeping only; the
+            protocol RNG is bound by the caller).
+        host: Interface to bind; loopback unless deliberately exposed.
+    """
+
+    def __init__(
+        self,
+        protocol: ProtocolNode,
+        n: int,
+        *,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.protocol = protocol
+        self.node_id = protocol.node_id
+        self.n = n
+        self.host = host
+        self.port: Optional[int] = None
+        self.context = LiveHostContext(seed)
+        self.transport = RealTransport().bind(self.context)
+        self.rounds_run = 0
+        self.complete = len(protocol.known) >= n
+        self.shutdown_requested = asyncio.Event()
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._directory: Mapping[int, Tuple[str, int]] = {}
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._inbox: List[Message] = []
+        self._batches: Dict[int, Dict[int, List[Message]]] = {}
+        self._markers: Dict[int, Dict[int, bool]] = {}
+        self._progress = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the server (ephemeral port) and return the endpoint."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    def set_directory(self, directory: Mapping[int, Tuple[str, int]]) -> None:
+        """Install the id → endpoint map (the fleet's address book)."""
+        self._directory = dict(directory)
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- the round loop ------------------------------------------------------------
+
+    async def run_discovery(
+        self, max_rounds: int, *, stop_on_closure: bool = True
+    ) -> int:
+        """Run rounds until unanimous closure or *max_rounds*; return
+        the number of rounds executed."""
+        peers = sorted(set(self._directory) - {self.node_id})
+        round_no = 0
+        while round_no < max_rounds:
+            round_no += 1
+            entered_complete = len(self.protocol.known) >= self.n
+
+            outbox = self.protocol.run_round(round_no, self._inbox)
+            self._inbox = []
+            for message in outbox or ():
+                self.context.metrics.record_send(message)
+                self.transport.submit(message, round_no)
+            by_recipient: Dict[int, List[Message]] = {}
+            for message in self.transport.take_outgoing():
+                by_recipient.setdefault(message.recipient, []).append(message)
+            for recipient, messages in by_recipient.items():
+                await self._send(
+                    recipient,
+                    {
+                        "t": "ptrs",
+                        "round": round_no,
+                        "from": self.node_id,
+                        "msgs": [message_to_wire(m) for m in messages],
+                    },
+                )
+            # The marker MUST trail this round's ptrs on every
+            # connection: a received eor(r) then proves (TCP FIFO) that
+            # all of that sender's round-r traffic is already here.
+            for peer in peers:
+                await self._send(
+                    peer,
+                    {
+                        "t": "eor",
+                        "round": round_no,
+                        "from": self.node_id,
+                        "complete": entered_complete,
+                    },
+                )
+
+            await self._wait_for_markers(round_no, peers)
+
+            batches = self._batches.pop(round_no, {})
+            delivered: List[Message] = []
+            for sender in sorted(batches):
+                delivered.extend(batches[sender])
+            self.transport.ingest(round_no + 1, delivered)
+            for message, _delay in self.transport.deliver(round_no + 1):
+                self.protocol.absorb(message)
+                self._inbox.append(message)
+            self.context.metrics.close_round(round_no)
+            self.rounds_run = round_no
+            self.complete = len(self.protocol.known) >= self.n
+
+            flags = self._markers.pop(round_no, {})
+            if (
+                stop_on_closure
+                and entered_complete
+                and all(flags.get(peer, False) for peer in peers)
+            ):
+                break
+        return self.rounds_run
+
+    async def _wait_for_markers(self, round_no: int, peers: List[int]) -> None:
+        while True:
+            markers = self._markers.get(round_no, {})
+            if all(peer in markers for peer in peers):
+                return
+            self._progress.clear()
+            markers = self._markers.get(round_no, {})
+            if all(peer in markers for peer in peers):
+                return
+            await self._progress.wait()
+
+    # -- outbound ------------------------------------------------------------------
+
+    async def _send(self, peer: int, payload: Mapping) -> None:
+        writer = self._writers.get(peer)
+        if writer is None:
+            host, port = self._directory[peer]
+            _reader, writer = await asyncio.open_connection(host, port)
+            self._writers[peer] = writer
+            writer.write(encode_frame({"t": "hello", "from": self.node_id}))
+        writer.write(encode_frame(payload))
+        await writer.drain()
+
+    # -- inbound -------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except WireError:
+                    break
+                if frame is None:
+                    break
+                kind = frame["t"]
+                if kind == "ptrs":
+                    per_sender = self._batches.setdefault(frame["round"], {})
+                    per_sender.setdefault(frame["from"], []).extend(
+                        wire_to_message(wire) for wire in frame["msgs"]
+                    )
+                    self._progress.set()
+                elif kind == "eor":
+                    self._markers.setdefault(frame["round"], {})[frame["from"]] = bool(
+                        frame["complete"]
+                    )
+                    self._progress.set()
+                elif kind == "hello":
+                    pass
+                else:
+                    reply = self._answer_query(frame)
+                    if reply is None:
+                        break
+                    writer.write(encode_frame(reply))
+                    await writer.drain()
+                    if kind == "shutdown":
+                        break
+        finally:
+            writer.close()
+
+    def _answer_query(self, frame: Mapping) -> Optional[Mapping]:
+        """Service-plane queries; the live analogs of :mod:`repro.apps`."""
+        kind = frame["t"]
+        known = self.protocol.known
+        if kind == "census":
+            return {
+                "t": "census_reply",
+                "from": self.node_id,
+                "leader": min(known),
+                "min": min(known),
+                "max": max(known),
+                "count": len(known),
+            }
+        if kind == "succ":
+            of = frame.get("of", self.node_id)
+            roster = sorted(known)
+            later = [peer for peer in roster if peer > of]
+            return {
+                "t": "succ_reply",
+                "from": self.node_id,
+                "of": of,
+                "succ": later[0] if later else roster[0],
+            }
+        if kind == "known":
+            return {"t": "known_reply", "from": self.node_id, "ids": sorted(known)}
+        if kind == "status":
+            return {
+                "t": "status_reply",
+                "from": self.node_id,
+                "round": self.rounds_run,
+                "complete": self.complete,
+                "n": self.n,
+            }
+        if kind == "shutdown":
+            self.shutdown_requested.set()
+            return {"t": "ok", "from": self.node_id}
+        return None

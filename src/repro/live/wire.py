@@ -1,0 +1,114 @@
+"""Length-framed JSON wire protocol for the live host.
+
+Every frame on a live connection is a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON encoding one object.  JSON
+keeps the protocol inspectable with nothing but ``nc`` and ``python -m
+json.tool``; the length prefix makes framing trivial and rejects
+runaway frames early.
+
+Frame types (the ``t`` key):
+
+* ``hello``    — connection preamble: ``{"t", "from"}``.
+* ``ptrs``     — one sender's protocol messages to one recipient for one
+  round: ``{"t", "round", "from", "msgs": [wire messages]}``.
+* ``eor``      — end-of-round marker: ``{"t", "round", "from",
+  "complete"}``.  A node sends its ``eor`` for round *r* strictly after
+  its round-*r* ``ptrs`` frames on every connection, so per-connection
+  FIFO (TCP) guarantees a received marker covers all of that sender's
+  round-*r* traffic.
+* queries      — ``census`` / ``succ`` / ``known`` / ``status`` /
+  ``shutdown``, answered with ``*_reply`` / ``ok`` frames on the same
+  connection.
+
+Protocol :class:`~repro.sim.messages.Message` objects map to compact
+JSON objects (``k``/``s``/``r``/``i``/``d``).  JSON round-trips tuples
+to lists; every shipped protocol's ``data`` consumer unpacks by
+position or compares by value, so the substitution is behaviorally
+invisible — new protocols hosted live must preserve that property.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Mapping, Optional
+
+from ..sim.messages import Message
+
+#: Length-prefix layout: 4-byte big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Hard ceiling on a frame body.  A full-knowledge push at n = 10^5 is
+#: well under a megabyte of JSON; anything near this limit is a framing
+#: bug, not a workload.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class WireError(RuntimeError):
+    """A malformed or oversized frame."""
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Mapping[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError("connection closed mid-header") from None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise WireError("connection closed mid-frame") from None
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise WireError(f"undecodable frame body: {error}") from None
+    if not isinstance(payload, dict) or "t" not in payload:
+        raise WireError("frame body must be an object with a 't' key")
+    return payload
+
+
+def message_to_wire(message: Message) -> Mapping[str, Any]:
+    """Render a protocol message as its wire object.
+
+    ``ids`` keep their iteration order: the *learning* rule is a union,
+    but protocols may read ``ids`` positionally — sublog's assignment
+    batches pair ``ids`` with a parallel ``data`` list — so the wire
+    must not canonicalize what the in-memory message preserves.
+    """
+    wire: dict = {
+        "k": message.kind,
+        "s": message.sender,
+        "r": message.recipient,
+        "i": list(message.ids),
+    }
+    if message.data is not None:
+        wire["d"] = message.data
+    return wire
+
+
+def wire_to_message(wire: Mapping[str, Any]) -> Message:
+    """Rebuild a protocol message from its wire object."""
+    try:
+        return Message(
+            kind=wire["k"],
+            sender=wire["s"],
+            recipient=wire["r"],
+            ids=tuple(wire["i"]),
+            data=wire.get("d"),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireError(f"malformed wire message: {error}") from None

@@ -118,6 +118,7 @@ from typing import (
 )
 
 from ..graphs.idspace import dense_index
+from ..graphs.knowledge import digest_knowledge
 from .churn import JoinPlan
 from .errors import EngineStateError, ProtocolViolation, UnknownNodeError
 from .faults import FaultInjector, FaultPlan
@@ -713,8 +714,7 @@ class SynchronousEngine:
                 continue
             protocol = self.nodes[node]
             inbox = self._inboxes.pop(node, _EMPTY_INBOX)
-            protocol.run_round(self.round_no, inbox)
-            outbox = protocol.drain_outbox()
+            outbox = protocol.run_round(self.round_no, inbox)
             if outbox:
                 if self.enforce_legality:
                     self._check_legality(node, outbox)
@@ -781,8 +781,7 @@ class SynchronousEngine:
             if joins is not None and joins.is_dormant(node, round_no):
                 continue
             inbox = inboxes.pop(node, _EMPTY_INBOX)
-            protocol.run_round(round_no, inbox)
-            outbox = protocol.drain_outbox()
+            outbox = protocol.run_round(round_no, inbox)
             if outbox:
                 if enforce:
                     self._check_legality_fast(node, outbox)
@@ -1237,14 +1236,10 @@ class SynchronousEngine:
             for mask in self._kmasks:
                 digest.update(mask.to_bytes(nbytes, "little"))
         else:
-            index = self._index
-            for node in self.node_ids:
-                buf = bytearray(nbytes)
-                for target in self._ksets[node]:
-                    bit = index.get(target)
-                    if bit is not None:
-                        buf[bit >> 3] |= 1 << (bit & 7)
-                digest.update(bytes(buf))
+            # The legacy path holds plain id sets — exactly the shape the
+            # shared cross-host digest helper canonicalizes (the live
+            # runtime digests its final state through the same function).
+            return digest_knowledge({node: self._ksets[node] for node in self.node_ids})
         return digest.hexdigest()
 
     def _build_result(self, completed: bool) -> RunResult:

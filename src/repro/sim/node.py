@@ -1,26 +1,46 @@
-"""Base class for protocol nodes running inside the synchronous engine.
+"""The transport-agnostic protocol core.
 
 A protocol implements one subclass of :class:`ProtocolNode` and overrides
-:meth:`ProtocolNode.on_round`.  The engine drives the node; the node's only
-way to affect the world is :meth:`ProtocolNode.send`.
+:meth:`ProtocolNode.on_round`.  The node is a *pure protocol state
+machine*: it holds no reference to whatever host is driving it, and its
+only way to affect the world is the outbox its round transition produces.
+Two hosts ship with the repository — the synchronous simulator
+(:class:`repro.sim.engine.SynchronousEngine`) and the live asyncio
+runtime (:mod:`repro.live`) — and both drive the identical node code
+through the same three entry points:
+
+* :meth:`bind` — install initial knowledge and the node's private RNG
+  (exactly once, before the first round);
+* :meth:`absorb` — learn from a delivered message at acceptance time;
+* :meth:`run_round` — execute one round against an inbox and return the
+  outbox of messages to dispatch.
 
 Timing model (classic synchronous rounds): a message sent in round *r* is
 received — and its sender and carried ids learned — at the **end of round
-r**; the recipient *acts* on it in round *r + 1*.  The engine therefore
-calls :meth:`absorb` at acceptance time and :meth:`run_round` at the start
-of the next round.
+r**; the recipient *acts* on it in round *r + 1*.  Hosts therefore call
+:meth:`absorb` at acceptance time and :meth:`run_round` at the start of
+the next round.
 
-Nodes keep their *own* view of what they know (``self.known``).  The engine
-independently tracks ground-truth knowledge for legality enforcement and
-goal detection; a property test asserts the two views never diverge for the
-shipped protocols.
+Knowledge discipline: every write to ``self.known`` funnels through
+:meth:`learn` (``absorb`` and ``bind`` included), which fires the
+:meth:`_knowledge_changed` hook whenever knowledge actually grew.
+Subclasses that cache derived views of ``known`` (snapshots, deltas —
+see :class:`repro.algorithms.base.DiscoveryNode`) invalidate them in that
+hook, so a host that teaches a node through any sanctioned path can never
+observe a stale cache.  Hosts and applications must never mutate
+``node.known`` directly.
+
+Nodes keep their *own* view of what they know (``self.known``).  The
+simulator host independently tracks ground-truth knowledge for legality
+enforcement and goal detection; a property test asserts the two views
+never diverge for the shipped protocols.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Collection, Iterable, List, Sequence, Set
+from typing import Any, Collection, Iterable, List, Optional, Sequence, Set
 
 from .messages import Message
 
@@ -29,7 +49,7 @@ class ProtocolNode(abc.ABC):
     """One machine participating in a discovery protocol.
 
     Subclasses must call ``super().__init__(node_id)`` and implement
-    :meth:`on_round`.  The engine calls :meth:`bind` exactly once before the
+    :meth:`on_round`.  The host calls :meth:`bind` exactly once before the
     first round to provide the initial knowledge and the node's private
     random stream.
     """
@@ -41,25 +61,60 @@ class ProtocolNode(abc.ABC):
         self.halted = False
         self._outbox: List[Message] = []
 
-    # -- engine-facing lifecycle -------------------------------------------------
+    # -- host-facing lifecycle -----------------------------------------------------
 
     def bind(self, initial_knowledge: Iterable[int], rng: random.Random) -> None:
         """Install initial knowledge and RNG; then run protocol setup."""
-        self.known.update(initial_knowledge)
+        self.learn(initial_knowledge)
         self.rng = rng
         self.setup()
 
+    def learn(self, ids: Iterable[int] = (), *, sender: Optional[int] = None) -> None:
+        """The single funnel through which knowledge enters this node.
+
+        Every sanctioned write path — :meth:`bind`, :meth:`absorb`, a
+        host teaching the node out of band — goes through here, so the
+        :meth:`_knowledge_changed` hook fires on *every* actual growth
+        and caches derived from ``known`` can never go stale.
+        """
+        known = self.known
+        before = len(known)
+        known.update(ids)
+        if sender is not None:
+            known.add(sender)
+        if len(known) != before:
+            self._knowledge_changed()
+
+    def _knowledge_changed(self) -> None:
+        """Hook fired by :meth:`learn` when knowledge actually grew.
+
+        Subclasses caching derived views of ``known`` override this to
+        invalidate them; the base implementation does nothing.
+        """
+
     def absorb(self, message: Message) -> None:
         """Learn from *message* at acceptance time (end of sending round)."""
-        self.known.add(message.sender)
-        self.known.update(message.ids)
+        self.learn(message.ids, sender=message.sender)
 
-    def run_round(self, round_no: int, inbox: Sequence[Message]) -> None:
-        """Engine entry point for executing one round (inbox pre-absorbed)."""
-        self.on_round(round_no, inbox)
+    def run_round(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        """Host entry point: execute one round, return the outbox.
+
+        The returned list merges messages queued through :meth:`send`
+        during the transition with any sequence :meth:`on_round` returned
+        directly; the internal queue is left empty either way.
+        """
+        returned = self.on_round(round_no, inbox, self.rng)
+        outbox, self._outbox = self._outbox, []
+        if returned:
+            outbox.extend(returned)
+        return outbox
 
     def drain_outbox(self) -> List[Message]:
-        """Hand pending sends to the engine (called once per round)."""
+        """Hand any messages queued outside a round transition to the host.
+
+        Hosts normally consume the outbox :meth:`run_round` returns; this
+        exists for tests and tooling that queue via :meth:`send` directly.
+        """
         outbox, self._outbox = self._outbox, []
         return outbox
 
@@ -69,15 +124,46 @@ class ProtocolNode(abc.ABC):
         """Hook run once after :meth:`bind`; override when needed."""
 
     @abc.abstractmethod
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
-        """Execute one synchronous round.
+    def on_round(
+        self, round_no: int, inbox: Sequence[Message], rng: random.Random
+    ) -> Optional[Sequence[Message]]:
+        """Execute one synchronous round: a pure state transition.
+
+        Given the current protocol state, the round number, the inbox,
+        and the node's private random stream, mutate only local protocol
+        state and produce the round's outbox — either by returning a
+        sequence of messages (preferred; build them with
+        :meth:`message`), by queueing through :meth:`send`, or both.
 
         Args:
             round_no: 1-based round number (round 1 has an empty inbox and
                 serves as the protocol's initiation round).
             inbox: Messages sent to this node in round ``round_no - 1``.
                 Their senders and carried ids are already in ``self.known``.
+            rng: The node's private random stream (the same object as
+                ``self.rng``; passed explicitly so the transition's inputs
+                are all visible in its signature).
         """
+
+    def message(
+        self,
+        recipient: int,
+        kind: str,
+        ids: Collection[int] = (),
+        data: Any = None,
+    ) -> Message:
+        """Construct (without queueing) a message from this node.
+
+        The host validates the model's legality rule (recipient and all
+        carried ids must currently be known to this node) when it collects
+        the outbox; violations raise
+        :class:`repro.sim.errors.ProtocolViolation`.
+        """
+        if recipient == self.node_id:
+            raise ValueError(f"node {self.node_id} attempted to message itself")
+        return Message(
+            kind=kind, sender=self.node_id, recipient=recipient, ids=ids, data=data
+        )
 
     def send(
         self,
@@ -86,23 +172,19 @@ class ProtocolNode(abc.ABC):
         ids: Collection[int] = (),
         data: Any = None,
     ) -> None:
-        """Queue a message for delivery at the end of the current round.
+        """Queue a message for the current round's outbox.
 
-        The engine validates the model's legality rule (recipient and all
-        carried ids must currently be known to this node) when it collects
-        the outbox; violations raise
-        :class:`repro.sim.errors.ProtocolViolation`.
+        Imperative convenience over :meth:`message` for protocols whose
+        transitions fan out across handler methods (e.g. the sub-log
+        cluster protocol); :meth:`run_round` merges the queue into the
+        outbox it returns.
         """
-        if recipient == self.node_id:
-            raise ValueError(f"node {self.node_id} attempted to message itself")
-        self._outbox.append(
-            Message(kind=kind, sender=self.node_id, recipient=recipient, ids=ids, data=data)
-        )
+        self._outbox.append(self.message(recipient, kind, ids=ids, data=data))
 
     def halt(self) -> None:
         """Mark this node as locally finished (diagnostic only).
 
-        Halting is advisory: the engine keeps delivering messages so that
+        Halting is advisory: hosts keep delivering messages so that
         quiescence bugs surface in tests rather than being masked.
         """
         self.halted = True

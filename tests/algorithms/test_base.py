@@ -10,7 +10,7 @@ from repro.sim.messages import Message
 
 
 class PlainNode(DiscoveryNode):
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         pass
 
 
@@ -34,6 +34,24 @@ class TestSnapshots:
         second = node.knowledge_snapshot()
         assert second is not first
         assert 9 in second
+
+    def test_direct_learn_invalidates_snapshot(self):
+        # Regression: knowledge taught out-of-band (host-side learn(),
+        # not message absorption) must invalidate the cached snapshot.
+        # Before the learn() funnel, only absorb() cleared the cache.
+        node = make_node()
+        first = node.knowledge_snapshot()
+        node.learn((7,))
+        second = node.knowledge_snapshot()
+        assert second is not first
+        assert 7 in second
+        assert node.unsent_delta() == frozenset({2, 3, 7})
+
+    def test_redundant_learn_keeps_cache(self):
+        node = make_node()
+        first = node.knowledge_snapshot()
+        node.learn((2, 3), sender=2)
+        assert node.knowledge_snapshot() is first
 
 
 class TestDeltas:

@@ -61,8 +61,7 @@ class TestSwampingVariants:
 
         node = SwampingNode(1, full=True)
         node.bind((2, 3, 4, 5), random.Random(0))
-        node.run_round(1, [])
-        outbox = node.drain_outbox()
+        outbox = node.run_round(1, [])
         assert len(outbox) == 4
         first = outbox[0].ids
         assert all(message.ids is first for message in outbox)

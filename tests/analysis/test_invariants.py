@@ -130,7 +130,7 @@ class TestBallContainment:
         observer = BallContainmentObserver(graph, strict=False)
 
         class Teleporter(ProtocolNode):
-            def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+            def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
                 pass
 
         engine = SynchronousEngine(
@@ -146,7 +146,7 @@ class TestBallContainment:
         observer = BallContainmentObserver(graph, strict=True)
 
         class Teleporter(ProtocolNode):
-            def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+            def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
                 pass
 
         engine = SynchronousEngine(

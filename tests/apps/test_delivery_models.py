@@ -1,0 +1,103 @@
+"""Apps under every delivery model: equivalence and robustness.
+
+Two claims, parametrized over the five shipped delivery families:
+
+* **Degenerate equivalence** — a model configured to add no asynchrony
+  (zero jitter, zero adversarial slack, zero per-link spread, a
+  partition window the run never reaches) must reproduce the lockstep
+  result of :func:`~repro.apps.census.leader_census` and
+  :func:`~repro.apps.overlay.form_ring` exactly: same coordinator, same
+  census, same successors.
+* **Hostile completion** — under genuinely adverse configurations every
+  family still completes within a generous round budget and yields an
+  internally valid structure (full-fleet census; successor map that is
+  one sorted ring).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.census import discovery_params, leader_census
+from repro.apps.overlay import form_ring, verify_ring
+from repro.graphs.generators import make_topology
+from repro.sim.transport import parse_delivery
+
+N = 24
+SEED = 5
+
+#: Specs that add no asynchrony: results must be bit-equal to lockstep.
+DEGENERATE_SPECS = ["lockstep", "jitter:0", "adversarial:0", "perlink:0",
+                    "partition:900-999"]
+
+#: Genuinely adverse configurations of each family.
+HOSTILE_SPECS = ["jitter:2", "adversarial:2", "perlink:2", "partition:3-6"]
+
+ALGORITHMS = ["sublog", "namedropper"]
+
+
+def _graph():
+    return make_topology("kout", N, seed=SEED, k=3)
+
+
+def _generous_cap(algorithm: str) -> int:
+    from repro.algorithms.registry import get_algorithm
+
+    # Hostile models stretch rounds by up to the delay bound; give 4x.
+    return 4 * get_algorithm(algorithm).round_cap(N)
+
+
+class TestDegenerateEquivalence:
+    @pytest.mark.parametrize("spec", DEGENERATE_SPECS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_census_matches_lockstep(self, spec, algorithm):
+        baseline = leader_census(_graph(), seed=SEED, algorithm=algorithm)
+        under_model = leader_census(
+            _graph(), seed=SEED, algorithm=algorithm, delivery=spec,
+            max_rounds=_generous_cap(algorithm),
+        )
+        assert under_model.coordinator == baseline.coordinator
+        assert under_model.count == baseline.count == N
+        assert under_model.min_id == baseline.min_id
+        assert under_model.max_id == baseline.max_id
+        assert under_model.sample == baseline.sample
+
+    @pytest.mark.parametrize("spec", DEGENERATE_SPECS)
+    def test_ring_matches_lockstep(self, spec):
+        baseline = form_ring(_graph(), seed=SEED)
+        under_model = form_ring(_graph(), seed=SEED, delivery=spec)
+        assert under_model.coordinator == baseline.coordinator
+        assert dict(under_model.successors) == dict(baseline.successors)
+
+
+class TestHostileCompletion:
+    @pytest.mark.parametrize("spec", HOSTILE_SPECS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_census_completes_and_counts_everyone(self, spec, algorithm):
+        census = leader_census(
+            _graph(), seed=SEED, algorithm=algorithm, delivery=spec,
+            max_rounds=_generous_cap(algorithm),
+        )
+        assert census.count == N
+        assert census.min_id == 0 and census.max_id == N - 1
+        assert census.elected_leader == 0
+
+    @pytest.mark.parametrize("spec", HOSTILE_SPECS)
+    def test_ring_completes_and_is_one_cycle(self, spec):
+        ring = form_ring(
+            _graph(), seed=SEED, delivery=spec, max_rounds=_generous_cap("sublog")
+        )
+        assert ring.n == N
+        assert verify_ring(ring.successors)
+
+
+class TestDiscoveryParams:
+    def test_all_specs_parse(self):
+        for spec in DEGENERATE_SPECS + HOSTILE_SPECS:
+            parse_delivery(spec)
+
+    def test_sublog_gets_resilience_only_under_hostile_delivery(self):
+        assert "resilient" not in discovery_params("sublog", None)
+        assert "resilient" not in discovery_params("sublog", "lockstep")
+        assert discovery_params("sublog", "jitter:2")["resilient"] is True
+        assert discovery_params("namedropper", "jitter:2") == {}

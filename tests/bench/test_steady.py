@@ -133,7 +133,7 @@ def _quiet_factory(node_id):
     from repro.sim.node import ProtocolNode
 
     class Quiet(ProtocolNode):
-        def on_round(self, round_no, inbox):
+        def on_round(self, round_no, inbox, rng):
             pass
 
     return Quiet(node_id)

@@ -34,8 +34,7 @@ def deliver(node: SubLogNode, round_no: int, *messages: Message) -> List[Message
     """Absorb + run one round; return the outbox."""
     for message in messages:
         node.absorb(message)
-    node.run_round(round_no, list(messages))
-    return node.drain_outbox()
+    return node.run_round(round_no, list(messages))
 
 
 def round_for(step: int, phase: int = 1) -> int:

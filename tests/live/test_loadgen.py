@@ -1,0 +1,95 @@
+"""Load-generator correctness against a serving cluster."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.cluster import ClusterSpec, LiveCluster
+from repro.live.loadgen import run_loadgen
+from repro.live.node import LiveNodeRuntime
+from repro.live.wire import encode_frame, read_frame
+
+
+async def _serving_cluster(n=6, seed=2, algorithm="flooding"):
+    cluster = LiveCluster(ClusterSpec(n=n, seed=seed, algorithm=algorithm))
+    await cluster.start()
+    report = await cluster.run_discovery()
+    assert report.complete
+    return cluster
+
+
+class TestLoadgen:
+    def test_census_and_ring_agree_after_closure(self):
+        async def scenario():
+            cluster = await _serving_cluster()
+            try:
+                return await run_loadgen(
+                    cluster.endpoints, requests=30, concurrency=5, seed=9
+                )
+            finally:
+                await cluster.close()
+
+        report = asyncio.run(scenario())
+        assert report.ok
+        assert report.errors == 0
+        assert report.leader == 0 and report.count == 6
+        assert report.census_consistent and report.ring_valid
+        assert len(report.latencies_ms) == 30
+
+    def test_rejects_empty_endpoints(self):
+        with pytest.raises(ValueError):
+            asyncio.run(run_loadgen([], requests=1))
+
+    def test_rejects_nonpositive_workload(self):
+        with pytest.raises(ValueError):
+            asyncio.run(run_loadgen([("127.0.0.1", 1)], requests=0))
+
+
+class TestQueryService:
+    def test_query_frames_round_trip(self):
+        async def scenario():
+            cluster = await _serving_cluster(n=4, seed=1)
+            try:
+                host, port = cluster.endpoints[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                replies = []
+                for payload in (
+                    {"t": "census"},
+                    {"t": "succ", "of": 3},
+                    {"t": "known"},
+                    {"t": "status"},
+                ):
+                    writer.write(encode_frame(payload))
+                    await writer.drain()
+                    replies.append(await read_frame(reader))
+                writer.close()
+                return replies
+            finally:
+                await cluster.close()
+
+        census, succ, known, status = asyncio.run(scenario())
+        assert census["leader"] == 0 and census["count"] == 4
+        assert succ["succ"] == 0  # 3 wraps to the ring's smallest id
+        assert known["ids"] == [0, 1, 2, 3]
+        assert status["complete"] is True and status["n"] == 4
+
+    def test_shutdown_frame_sets_event(self):
+        async def scenario():
+            cluster = await _serving_cluster(n=4, seed=1)
+            try:
+                host, port = cluster.endpoints[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame({"t": "shutdown"}))
+                await writer.drain()
+                reply = await read_frame(reader)
+                writer.close()
+                runtime: LiveNodeRuntime = next(iter(cluster.nodes.values()))
+                return reply, runtime.shutdown_requested.is_set()
+            finally:
+                await cluster.close()
+
+        reply, requested = asyncio.run(scenario())
+        assert reply["t"] == "ok"
+        assert requested

@@ -1,0 +1,103 @@
+"""Frame codec and message wire-mapping tests."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.wire import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    WireError,
+    encode_frame,
+    message_to_wire,
+    read_frame,
+    wire_to_message,
+)
+from repro.sim.messages import Message
+
+
+async def _reader_for(data: bytes) -> asyncio.StreamReader:
+    # StreamReader binds the running loop at construction, so build it
+    # inside the coroutine.
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def scenario():
+        return await read_frame(await _reader_for(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        payload = {"t": "eor", "round": 3, "from": 1, "complete": False}
+        assert _read(encode_frame(payload)) == payload
+
+    def test_eof_at_boundary_is_none(self):
+        assert _read(b"") is None
+
+    def test_mid_header_eof_raises(self):
+        with pytest.raises(WireError):
+            _read(b"\x00\x00")
+
+    def test_mid_body_eof_raises(self):
+        frame = encode_frame({"t": "hello", "from": 2})
+        with pytest.raises(WireError):
+            _read(frame[:-3])
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(WireError):
+            _read(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(WireError):
+            _read(HEADER.pack(2) + b"[]")
+
+    def test_undecodable_body_rejected(self):
+        with pytest.raises(WireError):
+            _read(HEADER.pack(3) + b"\xff\xfe\xfd")
+
+    def test_back_to_back_frames(self):
+        async def scenario():
+            reader = await _reader_for(
+                encode_frame({"t": "a"}) + encode_frame({"t": "b"})
+            )
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert (first["t"], second["t"], third) == ("a", "b", None)
+
+
+class TestMessageMapping:
+    def test_round_trip_preserves_fields(self):
+        message = Message("push", 1, 2, ids=(9, 4, 7), data=None)
+        rebuilt = wire_to_message(message_to_wire(message))
+        assert rebuilt.kind == "push"
+        assert rebuilt.sender == 1 and rebuilt.recipient == 2
+        assert rebuilt.ids == (9, 4, 7)
+        assert rebuilt.data is None
+
+    def test_ids_order_is_preserved(self):
+        # Positional consumers exist (sublog pairs ids with a parallel
+        # data list), so the wire must not canonicalize the order.
+        message = Message("assign", 1, 2, ids=(30, 10, 20), data=[2, 0])
+        assert message_to_wire(message)["i"] == [30, 10, 20]
+
+    def test_data_survives_as_json_value(self):
+        message = Message("invite", 3, 4, ids=(5,), data=(6, 1))
+        rebuilt = wire_to_message(message_to_wire(message))
+        size, coin = rebuilt.data  # tuple-unpack works on the list form
+        assert (size, coin) == (6, 1)
+
+    def test_malformed_wire_message_raises(self):
+        with pytest.raises(WireError):
+            wire_to_message({"k": "push", "s": 1})

@@ -125,7 +125,7 @@ class TestInvariantOracleDetection:
         # A silent protocol sends nothing, so a discarded id can never be
         # legitimately re-delivered before the next round-end check.
         class Silent(ProtocolNode):
-            def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+            def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
                 pass
 
         oracle = InvariantOracle(strict=True)

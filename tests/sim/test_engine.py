@@ -17,14 +17,14 @@ from repro.sim.observers import Observer
 class SilentNode(ProtocolNode):
     """Sends nothing, ever."""
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         pass
 
 
 class GossipNode(ProtocolNode):
     """Sends full knowledge to everyone known, every round (swamping)."""
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         for peer in sorted(self.known - {self.node_id}):
             self.send(peer, "gossip", ids=self.known - {self.node_id, peer})
 
@@ -36,7 +36,7 @@ class CheaterNode(ProtocolNode):
         super().__init__(node_id)
         self.cheat_target = cheat_target
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         if self.cheat_target not in self.known:
             self.send(self.cheat_target, "cheat")
 
@@ -44,7 +44,7 @@ class CheaterNode(ProtocolNode):
 class IdSmuggler(ProtocolNode):
     """Tries to include an id it does not know in a message."""
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         for peer in self.known - {self.node_id}:
             self.send(peer, "smuggle", ids=(999,))
             break

@@ -299,7 +299,7 @@ def test_property_differential(graph, algorithm, seed, enforce, jitter, loss):
 class _UnknownIdNode(ProtocolNode):
     """Carries an unlearned id in round 2 (a model violation)."""
 
-    def on_round(self, round_no, inbox):
+    def on_round(self, round_no, inbox, rng):
         from repro.sim.messages import Message
 
         if round_no == 2:
@@ -317,7 +317,7 @@ class _UnknownIdNode(ProtocolNode):
 class _UnknownRecipientNode(ProtocolNode):
     """Messages a machine that does not exist."""
 
-    def on_round(self, round_no, inbox):
+    def on_round(self, round_no, inbox, rng):
         from repro.sim.messages import Message
 
         if round_no == 1 and self.node_id == min(self.known):

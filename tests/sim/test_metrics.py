@@ -77,7 +77,7 @@ class TestMetricsCollector:
         from repro.sim import FaultPlan, ProtocolNode, SynchronousEngine
 
         class Pusher(ProtocolNode):
-            def on_round(self, round_no, inbox: Sequence):
+            def on_round(self, round_no, inbox: Sequence, rng):
                 if round_no <= 2:
                     for peer in sorted(self.known - {self.node_id}):
                         self.send(peer, "ping")

@@ -85,7 +85,7 @@ class TestDropReasons:
         )
 
         class Pusher(ProtocolNode):
-            def on_round(self, round_no, inbox: Sequence):
+            def on_round(self, round_no, inbox: Sequence, rng):
                 for peer in sorted(self.known - {self.node_id}):
                     self.send(peer, "ping")
 
@@ -122,7 +122,7 @@ class TestSendTimeCrashAttribution:
         from repro.sim import ProtocolNode
 
         class Pusher(ProtocolNode):
-            def on_round(self, round_no, inbox: Sequence):
+            def on_round(self, round_no, inbox: Sequence, rng):
                 for peer in sorted(self.known - {self.node_id}):
                     self.send(peer, "ping")
 
@@ -179,7 +179,7 @@ class TestEngineInFlightLoss:
         from repro.sim import FaultPlan, ProtocolNode, SynchronousEngine
 
         class Pusher(ProtocolNode):
-            def on_round(self, round_no, inbox: Sequence):
+            def on_round(self, round_no, inbox: Sequence, rng):
                 for peer in sorted(self.known - {self.node_id}):
                     self.send(peer, "ping")
 
@@ -203,7 +203,7 @@ class TestEngineInFlightLoss:
         from repro.sim import FaultPlan, ProtocolNode, SynchronousEngine
 
         class Pusher(ProtocolNode):
-            def on_round(self, round_no, inbox: Sequence):
+            def on_round(self, round_no, inbox: Sequence, rng):
                 if round_no == 1:
                     for peer in sorted(self.known - {self.node_id}):
                         self.send(peer, "ping")

@@ -18,8 +18,16 @@ class EchoNode(ProtocolNode):
         super().__init__(node_id)
         self.rounds_seen = []
 
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         self.rounds_seen.append((round_no, len(inbox)))
+
+
+class MergeNode(ProtocolNode):
+    """Uses both queued sends and an explicit return in the same round."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng):
+        self.send(2, "queued")
+        return [self.message(3, "returned")]
 
 
 class TestProtocolNode:
@@ -55,6 +63,24 @@ class TestProtocolNode:
         node.run_round(1, [])
         node.run_round(2, [Message(kind="x", sender=2, recipient=1)])
         assert node.rounds_seen == [(1, 0), (2, 1)]
+
+    def test_run_round_returns_queued_then_returned(self):
+        # run_round is the pure boundary: everything the round produced —
+        # queued via send() or returned from on_round — comes back in one
+        # outbox (queued first), and nothing is left behind.
+        node = MergeNode(1)
+        node.bind((2, 3), random.Random(0))
+        outbox = node.run_round(1, [])
+        assert [m.kind for m in outbox] == ["queued", "returned"]
+        assert [m.recipient for m in outbox] == [2, 3]
+        assert node.drain_outbox() == []
+
+    def test_learn_adds_ids_and_sender(self):
+        node = self._bound()
+        node.learn((7,), sender=8)
+        assert {7, 8} <= node.known
+        node.learn(sender=None)  # no-op
+        assert node.known == {1, 2, 3, 7, 8}
 
     def test_others_known_excludes_self(self):
         node = self._bound()

@@ -11,7 +11,7 @@ from repro.sim.observers import KnowledgeSizeObserver, RoundLogObserver
 
 
 class GossipNode(ProtocolNode):
-    def on_round(self, round_no: int, inbox: Sequence[Message]) -> None:
+    def on_round(self, round_no: int, inbox: Sequence[Message], rng) -> None:
         for peer in sorted(self.known - {self.node_id}):
             self.send(peer, "gossip", ids=self.known - {self.node_id, peer})
 

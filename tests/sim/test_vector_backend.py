@@ -162,7 +162,7 @@ def test_protocol_violation_identical_on_vector():
     from repro.sim.node import ProtocolNode
 
     class CheatNode(ProtocolNode):
-        def on_round(self, round_no, inbox):
+        def on_round(self, round_no, inbox, rng):
             if round_no == 2:
                 peer = min(self.known - {self.node_id})
                 self._outbox.append(
@@ -221,7 +221,7 @@ def _noop_factory(node_id):
     from repro.sim.node import ProtocolNode
 
     class Quiet(ProtocolNode):
-        def on_round(self, round_no, inbox):
+        def on_round(self, round_no, inbox, rng):
             pass
 
     return Quiet(node_id)

@@ -152,6 +152,47 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_verifies_digest_against_sim(self, capsys):
+        code = main(
+            ["serve", "--n", "6", "--seed", "3", "--algorithm", "namedropper",
+             "--verify-digest"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATCH" in out
+        assert "complete  : True" in out
+
+    def test_serve_exact_rounds_mid_run(self, capsys):
+        code = main(
+            ["serve", "--n", "6", "--seed", "5", "--rounds", "2",
+             "--verify-digest"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATCH" in out
+
+
+class TestLoadgen:
+    def test_loadgen_self_hosted(self, capsys):
+        code = main(
+            ["loadgen", "--n", "6", "--seed", "2", "--requests", "20",
+             "--concurrency", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent=True" in out
+        assert "valid=True" in out
+
 
 class TestFuzz:
     def test_fuzz_smoke(self, capsys):
