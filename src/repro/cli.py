@@ -24,6 +24,7 @@ Sub-commands:
   digest-for-digest against a seeded simulator run::
 
       python -m repro serve --n 8 --algorithm sublog --verify-digest
+      python -m repro serve --n 8 --kill 3@3 --verify-digest  # fault injection
 
 * ``loadgen`` — concurrent census/ring lookups against a live cluster
   (self-hosted, or ``--endpoints`` for one already running)::
@@ -326,8 +327,24 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .live.cluster import ClusterSpec, reference_digest, run_cluster
+    from .live.cluster import ClusterSpec, LiveCluster, reference_digest
+    from .live.faults import LiveFaultPlan
+    from .live.wire import encode_frame, read_frame
 
+    try:
+        fault_plan = LiveFaultPlan.from_kill_specs(
+            args.kill,
+            restart=[int(piece) for piece in args.restart.split(",") if piece.strip()],
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Same convention as `repro run --loss`: faults auto-enable the
+    # sublog family's resilient hardening (plain sublog's assignment
+    # structure does not heal around a crashed member).
+    params = {}
+    if fault_plan.has_faults and args.algorithm in ("sublog", "sublogcoin"):
+        params = {"resilient": True, "stagnation_phases": 4}
     spec = ClusterSpec(
         n=args.n,
         topology=args.topology,
@@ -335,17 +352,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         rounds=args.rounds,
         max_rounds=args.max_rounds,
+        params=params,
+        fault_plan=fault_plan if fault_plan.has_faults else None,
+        marker_timeout=args.marker_timeout,
     )
+
+    async def drive():
+        cluster = LiveCluster(spec)
+        await cluster.start()
+        try:
+            report = await cluster.run_discovery()
+            # Prove revived endpoints actually serve: query each one's
+            # status over a fresh TCP connection before teardown.
+            restarted = []
+            for node_id in fault_plan.restart:
+                runtime = cluster.nodes[node_id]
+                reader, writer = await asyncio.open_connection(
+                    runtime.host, runtime.port
+                )
+                writer.write(encode_frame({"t": "status"}))
+                await writer.drain()
+                restarted.append(await read_frame(reader))
+                writer.close()
+                await writer.wait_closed()
+            return report, restarted
+        finally:
+            await cluster.close()
+
     started = time.perf_counter()
-    report = asyncio.run(run_cluster(spec))
+    report, restarted = asyncio.run(drive())
     elapsed = time.perf_counter() - started
     print(f"algorithm : {report.algorithm}")
     print(f"cluster   : n={report.n} seed={report.seed} (loopback TCP)")
+    if fault_plan.has_faults:
+        kills = ", ".join(
+            f"{node}@{fault_plan.crash_rounds[node]}" for node in fault_plan.victims()
+        )
+        print(f"faults    : kill {kills}")
+        print(f"survivors : {len(report.survivors)}/{report.n} {list(report.survivors)}")
     print(f"complete  : {report.complete}")
     print(f"rounds    : {report.rounds}")
     print(f"messages  : {report.messages:,}")
-    print(f"digest    : {report.digest}")
+    scope = " (survivors)" if fault_plan.has_faults else ""
+    print(f"digest    : {report.digest}{scope}")
     print(f"wall time : {elapsed:.2f}s")
+    for status in restarted:
+        print(
+            f"restarted : node {status['from']} serving again "
+            f"(crashed at round {status['crashed_at']}, service plane only)"
+        )
     if args.verify_digest:
         expected, sim_rounds = reference_digest(spec)
         verdict = "MATCH" if expected == report.digest else "MISMATCH"
@@ -397,8 +452,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 await cluster.close()
         print(f"requests  : {result.requests} ({args.concurrency} workers)")
         print(f"errors    : {result.errors}")
+        consistency = (
+            "not-sampled"
+            if result.census_consistent is None
+            else str(result.census_consistent)
+        )
         print(f"census    : leader={result.leader} count={result.count} "
-              f"consistent={result.census_consistent}")
+              f"consistent={consistency} samples={result.census_samples}")
         print(f"ring      : valid={result.ring_valid}")
         print(f"latency   : p50={result.latency_percentile(0.5):.2f}ms "
               f"p99={result.latency_percentile(0.99):.2f}ms")
@@ -639,6 +699,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the same (config, seed) through the simulator and "
         "require byte-identical knowledge digests",
+    )
+    serve_parser.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="ID@ROUND",
+        help="fault injection: kill node ID at the start of round ROUND "
+        "(repeatable, or comma-separated); with --verify-digest the "
+        "survivors are checked against the FaultInjector prediction",
+    )
+    serve_parser.add_argument(
+        "--restart",
+        default="",
+        metavar="IDS",
+        help="comma-separated killed node ids to revive after the run "
+        "(service plane only: queries answered from frozen knowledge)",
+    )
+    serve_parser.add_argument(
+        "--marker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-round marker-wait deadline before a silent peer is "
+        "suspected (default: derived from the round budget; 0 waits forever)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

@@ -23,11 +23,15 @@ Modules:
   discovery to closure, verify the digest against the simulator.
 * :mod:`repro.live.loadgen` — concurrent census/overlay lookups
   against a serving cluster.
+* :mod:`repro.live.faults` — scheduled live crashes
+  (:class:`LiveFaultPlan`), held to the simulator's
+  :class:`~repro.sim.faults.FaultInjector` prediction.
 """
 
-from .cluster import ClusterReport, ClusterSpec, LiveCluster, reference_digest
+from .cluster import ClusterReport, ClusterSpec, LiveCluster, reference_digest, run_cluster
+from .faults import LiveFaultPlan
 from .loadgen import LoadgenReport, run_loadgen
-from .node import LiveNodeRuntime
+from .node import LiveNodeRuntime, default_marker_timeout
 from .transport import LiveHostContext, RealTransport
 from .wire import encode_frame, message_to_wire, read_frame, wire_to_message
 
@@ -35,14 +39,17 @@ __all__ = [
     "ClusterReport",
     "ClusterSpec",
     "LiveCluster",
+    "LiveFaultPlan",
     "LiveHostContext",
     "LiveNodeRuntime",
     "LoadgenReport",
     "RealTransport",
+    "default_marker_timeout",
     "encode_frame",
     "message_to_wire",
     "read_frame",
     "reference_digest",
+    "run_cluster",
     "run_loadgen",
     "wire_to_message",
 ]

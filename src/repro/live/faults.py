@@ -1,0 +1,74 @@
+"""Fault plans for the live runtime.
+
+A :class:`LiveFaultPlan` is the live analog of
+:class:`repro.sim.faults.FaultPlan`'s crash schedule: kill node X at the
+start of round R, on purpose, at the same logical instant the
+simulator's :class:`~repro.sim.faults.FaultInjector` would — after the
+node has absorbed its round ``R - 1`` traffic, before it executes round
+``R``.  Because both hosts freeze the victim at the same boundary, a
+live run under a plan is digest-comparable to a simulated run under
+:meth:`LiveFaultPlan.to_sim_plan`, both over the full fleet (the frozen
+victim's knowledge included) and over the survivors alone (what a real
+``kill -9`` leaves observable).
+
+Live crashes are fail-stop for the discovery protocol, exactly like the
+simulator's.  The optional ``restart`` set names victims to revive
+*after* the run on the service plane only: a restarted node re-binds its
+endpoint and answers queries from its frozen pre-crash knowledge, but it
+never rejoins the round loop (the simulator has no recovery, and a
+rejoining node would break the determinism contract — see
+``docs/MODEL.md`` §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Tuple
+
+from ..sim.faults import FaultPlan, parse_kill_specs
+
+__all__ = ["LiveFaultPlan", "parse_kill_specs"]
+
+
+@dataclass(frozen=True)
+class LiveFaultPlan:
+    """Deterministic crash (and optional service-plane restart) schedule.
+
+    Attributes:
+        crash_rounds: Mapping from node id to the round (1-based) at
+            whose start the node dies: server closed, connections
+            aborted, no round-R execution.
+        restart: Node ids (must be scheduled crashers) revived after the
+            run in serve-only mode.
+    """
+
+    crash_rounds: Mapping[int, int] = field(default_factory=dict)
+    restart: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for node, round_no in self.crash_rounds.items():
+            if round_no < 1:
+                raise ValueError(f"crash round for node {node} must be >= 1")
+        strays = sorted(set(self.restart) - set(self.crash_rounds))
+        if strays:
+            raise ValueError(f"restart of nodes never killed: {strays}")
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.crash_rounds)
+
+    def victims(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.crash_rounds))
+
+    def to_sim_plan(self, seed: int = 0) -> FaultPlan:
+        """The simulator plan predicting this live run's outcome."""
+        return FaultPlan(crash_rounds=dict(self.crash_rounds), seed=seed)
+
+    @classmethod
+    def from_kill_specs(
+        cls, specs: Iterable[str], restart: Iterable[int] = ()
+    ) -> "LiveFaultPlan":
+        """Build a plan from CLI-style ``"id@round"`` specs."""
+        return cls(
+            crash_rounds=parse_kill_specs(specs), restart=tuple(sorted(set(restart)))
+        )

@@ -31,20 +31,33 @@ from .wire import encode_frame, read_frame
 
 @dataclass
 class LoadgenReport:
-    """Outcome of one load-generation run."""
+    """Outcome of one load-generation run.
+
+    ``census_consistent`` is three-valued: ``True`` (censuses sampled
+    and unanimous), ``False`` (censuses sampled and disagreeing — a real
+    failure), or ``None`` (the request plan happened to sample no census
+    at all, e.g. ``requests=1`` issues only a ``succ`` probe).  A run is
+    :attr:`ok` unless censuses actively disagree; "nothing sampled" is
+    not a failure.
+    """
 
     requests: int
     errors: int
     duration_s: float
-    census_consistent: bool
+    census_consistent: Optional[bool]
     ring_valid: bool
     leader: Optional[int] = None
     count: Optional[int] = None
+    census_samples: int = 0
     latencies_ms: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.errors == 0 and self.census_consistent and self.ring_valid
+        return (
+            self.errors == 0
+            and self.census_consistent is not False
+            and self.ring_valid
+        )
 
     def latency_percentile(self, fraction: float) -> float:
         if not self.latencies_ms:
@@ -73,10 +86,23 @@ class _Worker:
             raise ConnectionError(f"endpoint {self.endpoint} closed mid-query")
         return reply
 
-    def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
+    async def close(self) -> None:
+        """Drain and release the connection (not just schedule the close).
+
+        ``StreamWriter.close()`` alone leaks the transport until the
+        loop collects it and races any final frame still buffered;
+        awaiting ``wait_closed`` makes teardown deterministic.  Errors
+        are swallowed — closing a connection the server already dropped
+        is not a failure.
+        """
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 async def run_loadgen(
@@ -108,7 +134,7 @@ async def run_loadgen(
     try:
         roster = sorted((await probe.query({"t": "known"}))["ids"])
     finally:
-        probe.close()
+        await probe.close()
 
     plans: List[List[Mapping]] = [[] for _ in range(concurrency)]
     for index in range(requests):
@@ -139,17 +165,19 @@ async def run_loadgen(
                 else:
                     errors += 1
         finally:
-            worker.close()
+            await worker.close()
 
     started = time.perf_counter()
     await asyncio.gather(*(drive(index) for index in range(concurrency)))
     duration = time.perf_counter() - started
 
-    census_consistent = bool(censuses) and all(
-        reply["leader"] == censuses[0]["leader"]
-        and reply["count"] == censuses[0]["count"]
-        for reply in censuses
-    )
+    census_consistent: Optional[bool] = None
+    if censuses:
+        census_consistent = all(
+            reply["leader"] == censuses[0]["leader"]
+            and reply["count"] == censuses[0]["count"]
+            for reply in censuses
+        )
     # Partial maps can't be verified as a cycle; complete the edge set
     # from the probed roster before checking (sampled edges must agree).
     ring_valid = True
@@ -169,5 +197,6 @@ async def run_loadgen(
         ring_valid=ring_valid,
         leader=censuses[0]["leader"] if censuses else None,
         count=censuses[0]["count"] if censuses else None,
+        census_samples=len(censuses),
         latencies_ms=latencies,
     )

@@ -19,8 +19,13 @@ shared reference loop unmodified.
 :class:`LiveHostContext` is the engine-shaped object the model binds
 to: the slice of :class:`~repro.sim.engine.SynchronousEngine` the
 ``DeliveryModel`` runtime actually touches (metrics, fault and join
-state, the optional delivery log), with no faults and no joins — a live
-node that dies simply disappears from the network.
+state, the optional delivery log), with an empty fault plan and no
+joins.  A live node that dies disappears from the network; its peers
+detect that through the runtime's failure detector (marker deadlines
+and send retries, :mod:`repro.live.node`), and sends addressed to a
+peer already declared dead are charged to the shared metrics as
+:data:`~repro.sim.metrics.DROP_CRASH` losses — the same taxonomy the
+engine's :class:`~repro.sim.faults.FaultInjector` files them under.
 """
 
 from __future__ import annotations

@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Tuple
 
 from ..sim.messages import Message
 
@@ -79,6 +79,30 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Mapping[str, Any]
     if not isinstance(payload, dict) or "t" not in payload:
         raise WireError("frame body must be an object with a 't' key")
     return payload
+
+
+def validate_round_frame(frame: Mapping[str, Any]) -> Tuple[int, int]:
+    """Check a ``ptrs``/``eor`` frame's shape; return ``(round, sender)``.
+
+    The round loop indexes its batch and marker tables by these two
+    keys, so a frame missing either (or carrying a non-integral value)
+    would previously kill the connection handler with a raw
+    ``KeyError`` — invisibly, inside the asyncio server.  Centralising
+    the check turns every malformed round frame into a
+    :class:`WireError` the handler can log and survive.
+    """
+    kind = frame.get("t")
+    round_no = frame.get("round")
+    sender = frame.get("from")
+    if not isinstance(round_no, int) or isinstance(round_no, bool) or round_no < 1:
+        raise WireError(f"{kind} frame needs an integer 'round' >= 1, got {round_no!r}")
+    if not isinstance(sender, int) or isinstance(sender, bool):
+        raise WireError(f"{kind} frame needs an integer 'from', got {sender!r}")
+    if kind == "ptrs" and not isinstance(frame.get("msgs"), list):
+        raise WireError("ptrs frame needs a 'msgs' list")
+    if kind == "eor" and "complete" not in frame:
+        raise WireError("eor frame needs a 'complete' flag")
+    return round_no, sender
 
 
 def message_to_wire(message: Message) -> Mapping[str, Any]:

@@ -109,6 +109,37 @@ class FaultInjector:
         return self.send_drop_reason(sender, recipient) is not None
 
 
+def parse_kill_specs(specs: Iterable[str]) -> Dict[int, int]:
+    """Parse ``"id@round"`` crash specs into a ``crash_rounds`` mapping.
+
+    Accepts an iterable of specs, each of which may itself be a
+    comma-separated list (so CLI flags compose: ``--kill 3@5 --kill
+    1@2,6@4``).  Raises :class:`ValueError` on malformed specs or a node
+    scheduled to crash twice.
+    """
+    crash_rounds: Dict[int, int] = {}
+    for chunk in specs:
+        for spec in chunk.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            node_text, sep, round_text = spec.partition("@")
+            try:
+                if not sep:
+                    raise ValueError
+                node, round_no = int(node_text), int(round_text)
+            except ValueError:
+                raise ValueError(
+                    f"malformed kill spec {spec!r}; expected 'id@round'"
+                ) from None
+            if round_no < 1:
+                raise ValueError(f"kill round for node {node} must be >= 1")
+            if node in crash_rounds:
+                raise ValueError(f"node {node} scheduled to crash twice")
+            crash_rounds[node] = round_no
+    return crash_rounds
+
+
 def crash_fraction_plan(
     node_ids: Iterable[int],
     fraction: float,

@@ -46,6 +46,36 @@ class TestLoadgen:
         with pytest.raises(ValueError):
             asyncio.run(run_loadgen([("127.0.0.1", 1)], requests=0))
 
+    def test_plan_without_census_is_not_a_failure(self):
+        """``requests=1`` issues only a ``succ`` probe; an unsampled
+        census must read as "no data" (``None``), not as disagreement."""
+
+        async def scenario():
+            cluster = await _serving_cluster(n=4, seed=1)
+            try:
+                return await run_loadgen(cluster.endpoints, requests=1, seed=9)
+            finally:
+                await cluster.close()
+
+        report = asyncio.run(scenario())
+        assert report.errors == 0
+        assert report.census_samples == 0
+        assert report.census_consistent is None
+        assert report.ok
+
+    def test_disagreeing_censuses_still_fail(self):
+        from repro.live.loadgen import LoadgenReport
+
+        report = LoadgenReport(
+            requests=2,
+            errors=0,
+            duration_s=0.0,
+            census_consistent=False,
+            ring_valid=True,
+            census_samples=2,
+        )
+        assert not report.ok
+
 
 class TestQueryService:
     def test_query_frames_round_trip(self):
