@@ -6,19 +6,33 @@ reasonably need (used for per-algorithm round caps in the harness).
 
 Registered algorithms:
 
-========== ============================================================
-name        protocol
-========== ============================================================
-flooding    Θ(D)-round flooding baseline
-swamping    Θ(log D)-round knowledge-squaring baseline (``full=False``
-            for the delta variant)
-rpj         Random Pointer Jump (pull gossip; adversarially slow)
-namedropper Name-Dropper, O(log² n) whp (``mode="pushpull"`` variant)
-sublog      the core sub-logarithmic cluster-merging algorithm
-            (deterministic rank contraction with join-forwarding)
-sublogcoin  randomized star-contraction ablation (``contraction="coin"``;
-            depth-1 merges, Θ(log n) phases)
-========== ============================================================
+============== ========================================================
+name            protocol
+============== ========================================================
+flooding        Θ(D)-round flooding baseline
+swamping        Θ(log D)-round knowledge-squaring baseline
+                (``full=False`` for the delta variant)
+rpj             Random Pointer Jump (pull gossip; adversarially slow)
+namedropper     Name-Dropper, O(log² n) whp (``mode="pushpull"``
+                variant)
+sublog          the core sub-logarithmic cluster-merging algorithm
+                (deterministic rank contraction with join-forwarding)
+sublogcoin      randomized star-contraction ablation
+                (``contraction="coin"``; depth-1 merges, Θ(log n)
+                phases)
+det_optimal     KKS-style deterministic aggregation/broadcast —
+                the message-count floor of the suite
+chord_discover  Chord-style finger-table successor propagation on the
+                identifier ring
+============== ========================================================
+
+Downstream consumers (the fuzzer's coverage cycle, CLI ``choices``, the
+correctness matrices) must derive the algorithm list from
+:func:`algorithm_names` — never from a hard-coded tuple — so that an
+algorithm added through :func:`register` is exercised everywhere
+automatically.  Per-spec ``hostile_params`` centralizes the "extra knobs
+under hostile schedules" policy the fuzzer/CLI/apps previously each
+hard-coded for the sublog family.
 """
 
 from __future__ import annotations
@@ -30,6 +44,8 @@ from typing import Any, Callable, Dict, Mapping, Tuple
 from ..core.config import SubLogConfig
 from ..core.sublog import SubLogNode
 from ..sim.node import ProtocolNode
+from .chord_discover import ChordDiscoverNode
+from .det_optimal import DetOptimalNode
 from .flooding import FloodingNode
 from .name_dropper import NameDropperNode
 from .pointer_jump import RandomPointerJumpNode
@@ -49,6 +65,10 @@ class AlgorithmSpec:
     build: FactoryBuilder
     round_cap: RoundCapFn
     default_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Extra params hosts merge in under hostile conditions (loss, a
+    #: non-lockstep delivery model, crash faults).  Empty for algorithms
+    #: with no hostile-hardening knobs.
+    hostile_params: Mapping[str, Any] = field(default_factory=dict)
 
     def node_factory(self, **params: Any) -> NodeFactory:
         merged = dict(self.default_params)
@@ -86,6 +106,19 @@ def _sublogcoin_factory(**config_kwargs: Any) -> NodeFactory:
     return _sublog_factory(**config_kwargs)
 
 
+def _det_optimal_factory() -> NodeFactory:
+    return DetOptimalNode
+
+
+def _chord_discover_factory() -> NodeFactory:
+    return ChordDiscoverNode
+
+
+#: The self-healing knobs the sublog family enables under hostile
+#: schedules (shared by both variants; see ``SubLogConfig``).
+_SUBLOG_HOSTILE = {"resilient": True, "stagnation_phases": 4}
+
+
 ALGORITHMS: Dict[str, AlgorithmSpec] = {
     spec.name: spec
     for spec in (
@@ -121,15 +154,59 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             ),
             build=_sublog_factory,
             round_cap=lambda n: 30 * _log2(n) + 120,
+            hostile_params=_SUBLOG_HOSTILE,
         ),
         AlgorithmSpec(
             name="sublogcoin",
             description="randomized star-contraction ablation of sublog",
             build=_sublogcoin_factory,
             round_cap=lambda n: 60 * _log2(n) + 240,
+            hostile_params=_SUBLOG_HOSTILE,
+        ),
+        AlgorithmSpec(
+            name="det_optimal",
+            description=(
+                "KKS-style deterministic aggregation/broadcast; the "
+                "message-count floor of the suite (arXiv 1306.1692)"
+            ),
+            build=_det_optimal_factory,
+            round_cap=lambda n: 8 * n + 64,
+        ),
+        AlgorithmSpec(
+            name="chord_discover",
+            description=(
+                "Chord-style finger-table successor propagation on the "
+                "identifier ring (arXiv 1401.2008)"
+            ),
+            build=_chord_discover_factory,
+            round_cap=lambda n: 8 * n + 64,
         ),
     )
 }
+
+
+def register(spec: AlgorithmSpec, *, replace: bool = False) -> AlgorithmSpec:
+    """Add *spec* to the registry (the algorithm list everything derives).
+
+    Registration makes the algorithm visible to every registry-driven
+    consumer at once: CLI choices built at parser-construction time are
+    the one exception, but the fuzzer's coverage cycle, the correctness
+    matrices, and the live suite all read :func:`algorithm_names` at call
+    time.  Refuses to shadow an existing name unless ``replace=True``.
+    """
+    if not replace and spec.name in ALGORITHMS:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    ALGORITHMS[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registered algorithm (tests registering throwaways)."""
+    try:
+        del ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(algorithm_names())
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
 
 
 def algorithm_names() -> Tuple[str, ...]:

@@ -40,14 +40,15 @@ def discovery_params(algorithm: str, delivery: Optional[str]) -> dict:
     """Per-algorithm engine params for an app-level discovery run.
 
     The sublog variants run coordinator-only completion (the weak goal
-    needs no completion broadcast) and, under a hostile delivery model,
-    enable the self-healing knobs — the same policy the CLI applies.
+    needs no completion broadcast — a knob only that family has) and,
+    under a hostile delivery model, every algorithm gets its registered
+    ``hostile_params`` hardening — the same policy the CLI applies.
     """
     params: dict = (
         {"completion": "none"} if algorithm in ("sublog", "sublogcoin") else {}
     )
-    if delivery is not None and delivery != "lockstep" and params:
-        params.update({"resilient": True, "stagnation_phases": 4})
+    if delivery is not None and delivery != "lockstep":
+        params.update(get_algorithm(algorithm).hostile_params)
     return params
 
 

@@ -84,8 +84,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = FaultPlan(loss_rate=args.loss, seed=args.seed) if args.loss else None
     hostile_delivery = bool(args.delivery) and args.delivery != "lockstep"
     params = {}
-    if args.algorithm in ("sublog", "sublogcoin") and (args.loss or hostile_delivery):
-        params = {"resilient": True, "stagnation_phases": 4}
+    if args.loss or hostile_delivery:
+        params = dict(ALGORITHMS[args.algorithm].hostile_params)
     observers = []
     trace_observer = None
     size_observer = None
@@ -340,11 +340,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     # Same convention as `repro run --loss`: faults auto-enable the
-    # sublog family's resilient hardening (plain sublog's assignment
-    # structure does not heal around a crashed member).
+    # algorithm's registered hostile hardening (e.g. the sublog family's
+    # resilient knobs — plain sublog's assignment structure does not
+    # heal around a crashed member).
     params = {}
-    if fault_plan.has_faults and args.algorithm in ("sublog", "sublogcoin"):
-        params = {"resilient": True, "stagnation_phases": 4}
+    if fault_plan.has_faults:
+        params = dict(ALGORITHMS[args.algorithm].hostile_params)
     spec = ClusterSpec(
         n=args.n,
         topology=args.topology,

@@ -137,12 +137,13 @@ def generate_script(
     else:
         goal = "weak" if rng.random() < 0.25 else "strong"
 
+    spec = get_algorithm(algorithm)
     params: Dict[str, Any] = {}
     hostile = bool(delivery or loss_rate or crash_rounds or join_rounds)
-    if algorithm in ("sublog", "sublogcoin") and hostile:
-        params = {"resilient": True, "stagnation_phases": 4}
+    if hostile:
+        params = dict(spec.hostile_params)
 
-    max_rounds = min(get_algorithm(algorithm).round_cap(n), FUZZ_ROUND_CAP)
+    max_rounds = min(spec.round_cap(n), FUZZ_ROUND_CAP)
     return ScheduleScript(
         algorithm=algorithm,
         topology=topology,

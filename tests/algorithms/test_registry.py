@@ -4,11 +4,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms.registry import algorithm_names, get_algorithm
+from repro.algorithms.chord_discover import ChordDiscoverNode
+from repro.algorithms.det_optimal import DetOptimalNode
+from repro.algorithms.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm,
+    register,
+    unregister,
+)
 from repro.core.sublog import SubLogNode
 from repro.sim.node import ProtocolNode
 
-EXPECTED = {"flooding", "swamping", "rpj", "namedropper", "sublog", "sublogcoin"}
+EXPECTED = {
+    "flooding",
+    "swamping",
+    "rpj",
+    "namedropper",
+    "sublog",
+    "sublogcoin",
+    "det_optimal",
+    "chord_discover",
+}
 
 
 class TestRegistry:
@@ -46,6 +63,12 @@ class TestRegistry:
         node = get_algorithm("sublog").node_factory()(1)
         assert node.config.contraction == "rank"
 
+    def test_new_baselines_build_their_nodes(self):
+        assert isinstance(get_algorithm("det_optimal").node_factory()(3), DetOptimalNode)
+        assert isinstance(
+            get_algorithm("chord_discover").node_factory()(3), ChordDiscoverNode
+        )
+
     @pytest.mark.parametrize("name", sorted(EXPECTED))
     def test_round_caps_are_positive_and_monotone(self, name: str):
         cap = get_algorithm(name).round_cap
@@ -57,3 +80,38 @@ class TestRegistry:
             get_algorithm("sublog").node_factory(contraction="bogus")
         with pytest.raises(ValueError):
             get_algorithm("namedropper").node_factory(mode="shout")(1)
+
+    def test_hostile_params_registered_for_sublog_family(self):
+        for name in ("sublog", "sublogcoin"):
+            hostile = get_algorithm(name).hostile_params
+            assert hostile.get("resilient") is True
+        for name in EXPECTED - {"sublog", "sublogcoin"}:
+            assert not get_algorithm(name).hostile_params
+
+
+class TestDynamicRegistration:
+    def _dummy_spec(self, name: str = "dummy_dynamic") -> AlgorithmSpec:
+        return AlgorithmSpec(
+            name=name,
+            description="throwaway registration for tests",
+            build=get_algorithm("flooding").build,
+            round_cap=lambda n: 4 * n + 64,
+        )
+
+    def test_register_and_unregister_round_trip(self):
+        spec = self._dummy_spec()
+        register(spec)
+        try:
+            assert "dummy_dynamic" in algorithm_names()
+            assert get_algorithm("dummy_dynamic") is spec
+        finally:
+            unregister("dummy_dynamic")
+        assert "dummy_dynamic" not in algorithm_names()
+
+    def test_register_refuses_to_shadow(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(self._dummy_spec("flooding"))
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            unregister("never_registered")

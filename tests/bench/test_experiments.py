@@ -69,9 +69,17 @@ class TestExperimentShapes:
         assert len(table.rows) == len(TINY.sweep_sizes)
 
     def test_t2_reports_message_floor(self):
+        from repro.algorithms import algorithm_names
+
         report = get_experiment("T2").run(TINY)
         table = report.artifacts[0]
         assert "msg-bound" in table.columns
+        # T2 derives its columns from the registry: every algorithm shows.
+        for name in algorithm_names():
+            assert name in table.columns
+        assert "det_optimal_beats_randomized_at" in report.summary
+        # Rounds table rides along (T2c).
+        assert any("rounds" in artifact.title for artifact in report.artifacts)
 
     def test_f2_reaches_single_cluster(self):
         report = get_experiment("F2").run(TINY)

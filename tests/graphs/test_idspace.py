@@ -4,7 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs.idspace import dense_index, densify, make_id_mapping
+from repro.graphs.idspace import (
+    RING_BITS,
+    RING_MODULUS,
+    dense_index,
+    densify,
+    finger_targets,
+    make_id_mapping,
+    ring_distance,
+    ring_nearest,
+    ring_successor,
+)
 
 
 class TestDenseIndex:
@@ -72,3 +82,87 @@ class TestDensify:
     def test_inverse_of_sparse_labels(self):
         dense = densify([500, 10, 70])
         assert dense == {10: 0, 70: 1, 500: 2}
+
+
+class TestRingDistance:
+    def test_zero_to_self(self):
+        assert ring_distance(123, 123) == 0
+
+    def test_asymmetric_clockwise(self):
+        assert ring_distance(10, 13) == 3
+        assert ring_distance(13, 10) == RING_MODULUS - 3
+
+    def test_wraparound(self):
+        assert ring_distance(RING_MODULUS - 1, 0) == 1
+        assert ring_distance(RING_MODULUS - 1, 2) == 3
+
+    def test_out_of_range_inputs_reduce_mod_ring(self):
+        assert ring_distance(RING_MODULUS + 4, 6) == 2
+        assert ring_distance(0, -1) == RING_MODULUS - 1
+
+
+class TestRingSuccessor:
+    CANDIDATES = (5, 9, 40)
+
+    def test_exact_hit_is_its_own_successor(self):
+        assert ring_successor(9, self.CANDIDATES) == 9
+
+    def test_strictly_between(self):
+        assert ring_successor(6, self.CANDIDATES) == 9
+
+    def test_wraparound_past_largest(self):
+        assert ring_successor(41, self.CANDIDATES) == 5
+        assert ring_successor(RING_MODULUS - 1, self.CANDIDATES) == 5
+
+    def test_single_candidate_always_wins(self):
+        for target in (0, 7, 8, RING_MODULUS - 1):
+            assert ring_successor(target, (7,)) == 7
+
+    def test_empty_candidates_is_none(self):
+        assert ring_successor(3, ()) is None
+
+    def test_target_reduced_mod_ring(self):
+        assert ring_successor(RING_MODULUS + 6, self.CANDIDATES) == 9
+
+
+class TestRingNearest:
+    def test_prefers_closer_predecessor(self):
+        assert ring_nearest(11, (5, 9, 40)) == 9
+
+    def test_prefers_closer_successor(self):
+        assert ring_nearest(38, (5, 9, 40)) == 40
+
+    def test_equidistant_tie_breaks_clockwise(self):
+        # 7 sits exactly between 5 and 9: the successor must win — the
+        # module-wide deterministic tie-break.
+        assert ring_nearest(7, (5, 9, 40)) == 9
+
+    def test_wraparound_predecessor(self):
+        # Distance from 2 back to the largest candidate crosses zero:
+        # RING_MODULUS-1 is 3 away, the successor 6 is 4 away.
+        assert ring_nearest(2, (6, RING_MODULUS - 1)) == RING_MODULUS - 1
+
+    def test_single_candidate(self):
+        assert ring_nearest(0, (7,)) == 7
+
+    def test_empty_is_none(self):
+        assert ring_nearest(3, ()) is None
+
+    def test_exact_hit(self):
+        assert ring_nearest(40, (5, 9, 40)) == 40
+
+
+class TestFingerTargets:
+    def test_count_and_spacing(self):
+        targets = finger_targets(0)
+        assert len(targets) == RING_BITS
+        assert targets[:4] == (1, 2, 4, 8)
+
+    def test_wraps_mod_ring(self):
+        targets = finger_targets(RING_MODULUS - 1)
+        assert targets[0] == 0
+        assert targets[1] == 1
+        assert all(0 <= target < RING_MODULUS for target in targets)
+
+    def test_custom_bits(self):
+        assert finger_targets(10, bits=3) == (11, 12, 14)

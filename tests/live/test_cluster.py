@@ -29,7 +29,16 @@ def _run(spec: ClusterSpec):
 
 class TestClosureIdentity:
     @pytest.mark.parametrize(
-        "algorithm", ["flooding", "swamping", "rpj", "namedropper", "sublog"]
+        "algorithm",
+        [
+            "flooding",
+            "swamping",
+            "rpj",
+            "namedropper",
+            "sublog",
+            "det_optimal",
+            "chord_discover",
+        ],
     )
     def test_eight_node_closure_matches_sim(self, algorithm):
         spec = ClusterSpec(n=8, topology="kout", algorithm=algorithm, seed=11)
@@ -60,6 +69,15 @@ class TestExactRoundIdentity:
         spec = ClusterSpec(n=10, algorithm="namedropper", seed=4, rounds=3)
         report = _run(spec)
         expected, _ = reference_digest(spec)
+        assert report.digest == expected
+
+    @pytest.mark.parametrize("algorithm", ["det_optimal", "chord_discover"])
+    @pytest.mark.parametrize("rounds", [1, 2, 4])
+    def test_new_baselines_mid_run_digest(self, algorithm, rounds):
+        spec = ClusterSpec(n=9, algorithm=algorithm, seed=13, rounds=rounds)
+        report = _run(spec)
+        expected, _ = reference_digest(spec)
+        assert report.rounds == rounds
         assert report.digest == expected
 
 

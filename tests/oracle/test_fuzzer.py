@@ -45,6 +45,48 @@ class TestGenerateScript:
         for families in seen.values():
             assert len(families) >= 3
 
+    def test_newly_registered_algorithm_enters_the_cycle(self):
+        # Regression: the coverage cycle must derive its algorithm list
+        # from the registry at generation time, so an algorithm added via
+        # register() is fuzzed without touching the fuzzer.  (A
+        # hard-coded tuple here would silently starve new algorithms.)
+        from repro.algorithms.registry import (
+            AlgorithmSpec,
+            get_algorithm,
+            register,
+            unregister,
+        )
+
+        spec = AlgorithmSpec(
+            name="dummy_fuzz_target",
+            description="throwaway algorithm for cycle-coverage regression",
+            build=get_algorithm("flooding").build,
+            round_cap=lambda n: 4 * n + 64,
+        )
+        register(spec)
+        try:
+            names = algorithm_names()
+            assert "dummy_fuzz_target" in names
+            covered = {
+                generate_script(77, index).algorithm
+                for index in range(len(names))
+            }
+            assert covered == set(names)
+        finally:
+            unregister("dummy_fuzz_target")
+
+    def test_hostile_params_come_from_the_registry(self):
+        # Scripts must pick up hostile hardening from the spec, not a
+        # hard-coded algorithm tuple.
+        from repro.oracle.fuzzer import generate_script as gen
+
+        for index in range(120):
+            script = gen(5, index)
+            if script.algorithm not in ("sublog", "sublogcoin"):
+                assert script.params == {}
+            elif script.params:
+                assert script.params.get("resilient") is True
+
     def test_scripts_are_well_formed(self):
         for index in range(20):
             script = generate_script(3, index)
