@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and anchors across the repo's docs.
+
+Walks every tracked ``*.md`` at the repo root and under ``docs/``,
+extracts inline links, and verifies:
+
+* relative file links resolve to a file that exists (query strings and
+  external ``http(s)://`` / ``mailto:`` links are skipped);
+* fragment links (``FILE.md#anchor`` or ``#anchor``) name a real heading
+  in the target file, using GitHub's slug rule (lowercase, punctuation
+  stripped, spaces to dashes, duplicate slugs suffixed ``-1``, ``-2``).
+
+Exits non-zero listing every broken link, so CI can gate on docs drift.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images share the syntax.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def doc_files() -> List[Path]:
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def check() -> List[Tuple[Path, str, str]]:
+    broken: List[Tuple[Path, str, str]] = []
+    anchor_cache: Dict[Path, set] = {}
+    for source in doc_files():
+        in_fence = False
+        for line in source.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                file_part, _, fragment = target.partition("#")
+                if file_part:
+                    resolved = (source.parent / file_part).resolve()
+                    if not resolved.exists():
+                        broken.append((source, target, "missing file"))
+                        continue
+                else:
+                    resolved = source.resolve()
+                if fragment and resolved.suffix == ".md":
+                    if resolved not in anchor_cache:
+                        anchor_cache[resolved] = anchors_of(resolved)
+                    if fragment.lower() not in anchor_cache[resolved]:
+                        broken.append((source, target, "missing anchor"))
+    return broken
+
+
+def main() -> int:
+    broken = check()
+    if broken:
+        for source, target, why in broken:
+            print(f"{source.relative_to(REPO)}: {target} ({why})")
+        print(f"{len(broken)} broken link(s)")
+        return 1
+    print(f"docs: {len(doc_files())} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

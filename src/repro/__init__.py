@@ -52,6 +52,16 @@ from .sim import (
     late_join_workload,
     parse_delivery,
 )
+from .workloads import (
+    WORKLOADS,
+    Trace,
+    TraceWorkload,
+    load_trace,
+    make_workload,
+    run_trace_workload,
+    save_trace,
+    workload_names,
+)
 
 try:  # single-source: pyproject.toml is authoritative once installed
     from importlib.metadata import PackageNotFoundError, version
@@ -87,18 +97,26 @@ __all__ = [
     "SubLogConfig",
     "SubLogNode",
     "SynchronousEngine",
+    "Trace",
     "TraceObserver",
+    "TraceWorkload",
+    "WORKLOADS",
     "__version__",
     "algorithm_names",
     "crash_fraction_plan",
     "discover",
     "get_algorithm",
     "late_join_workload",
+    "load_trace",
     "make_topology",
+    "make_workload",
     "parse_delivery",
     "path",
     "preferential_attachment",
     "random_k_out",
+    "run_trace_workload",
+    "save_trace",
+    "workload_names",
 ]
 
 

@@ -25,6 +25,7 @@ from . import (
     t6_churn,
     t7_asynchrony,
     t8_load,
+    t9_load_realism,
 )
 
 _MODULES: Tuple[ModuleType, ...] = (
@@ -41,6 +42,7 @@ _MODULES: Tuple[ModuleType, ...] = (
     t6_churn,
     t7_asynchrony,
     t8_load,
+    t9_load_realism,
 )
 
 EXPERIMENTS: Dict[str, ModuleType] = {

@@ -35,6 +35,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -46,6 +47,7 @@ from .bench.seeds import SCALES, bench_scale
 from .graphs.generators import TOPOLOGIES, make_topology
 from .sim.faults import FaultPlan
 from .sim.transport import DELIVERY_MODELS, parse_delivery
+from .workloads import workload_names
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -61,6 +63,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("experiments:")
     for experiment_id, module in EXPERIMENTS.items():
         print(f"  {experiment_id:4s} {module.TITLE}")
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
     print(f"scales: {', '.join(SCALES)}")
     return 0
 
@@ -167,13 +172,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
     options = None
-    if args.workers or args.retries or args.cell_timeout:
+    journal = getattr(args, "journal", None)
+    if args.workers or args.retries or args.cell_timeout or journal:
         from .bench.sweeprun import SweepOptions
 
         options = SweepOptions(
             workers=args.workers,
             retries=args.retries,
             cell_timeout=args.cell_timeout,
+            journal=Path(journal) if journal else None,
+            resume=getattr(args, "resume", False),
         )
     failures = 0
     for experiment_id in ids:
@@ -411,11 +419,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if (report.complete or args.rounds is not None) else 1
 
 
+def _workload_param(spec: str) -> tuple:
+    """argparse validator: ``key=value`` with value coerced int>float>str."""
+    key, sep, raw = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {spec!r}")
+    value: object = raw
+    for cast in (int, float):
+        try:
+            value = cast(raw)
+            break
+        except ValueError:
+            continue
+    return key, value
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .workloads import make_workload, run_trace_workload, save_trace
+
+    params = dict(args.param or ())
+    try:
+        trace = make_workload(args.generator, args.n, seed=args.seed, **params)
+    except (TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    lookups = len(trace.events_of("lookup"))
+    crashes = len(trace.events_of("crash"))
+    edges = len(trace.events_of("edge"))
+    print(f"trace     : {trace.generator} n={trace.n} seed={trace.seed}")
+    print(f"events    : {len(trace)} ({lookups} lookup, {crashes} crash, "
+          f"{edges} edge) over {trace.horizon} rounds")
+    print(f"params    : {json.dumps(trace.params, sort_keys=True)}")
+    print(f"digest    : {trace.digest()}")
+    if args.out:
+        save_trace(trace, Path(args.out))
+        print(f"saved     : {args.out}")
+    if args.replay:
+        report = run_trace_workload(
+            trace, args.replay, seed=args.seed, enforce_legality=False
+        )
+        stats = report.lookups
+        print(f"replay    : {args.replay} "
+              f"{'completed' if report.result.completed else 'DID NOT complete'} "
+              f"in {report.result.rounds} rounds "
+              f"({report.result.messages} messages)")
+        if stats["requests"]:
+            print(f"service   : {100.0 * report.served_at_arrival_fraction:.0f}% "
+                  f"served at arrival, mean delay "
+                  f"{stats['mean_delay']:.1f} rounds, "
+                  f"p95 {stats['p95_delay']:.0f}")
+        print(f"digest    : {report.digest} (engine knowledge)")
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from .live.cluster import ClusterSpec, LiveCluster
     from .live.loadgen import run_loadgen
+
+    trace = None
+    if args.trace:
+        from .workloads import load_trace
+
+        trace = load_trace(Path(args.trace))
+        if not args.endpoints and args.n != trace.n:
+            args.n = trace.n
 
     async def drive() -> int:
         if args.endpoints:
@@ -447,10 +516,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 requests=args.requests,
                 concurrency=args.concurrency,
                 seed=args.seed,
+                trace=trace,
             )
         finally:
             if cluster is not None:
                 await cluster.close()
+        if trace is not None:
+            print(f"trace     : {trace.generator} seed={trace.seed} "
+                  f"({result.requests} lookup events)")
         print(f"requests  : {result.requests} ({args.concurrency} workers)")
         print(f"errors    : {result.errors}")
         consistency = (
@@ -461,8 +534,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"census    : leader={result.leader} count={result.count} "
               f"consistent={consistency} samples={result.census_samples}")
         print(f"ring      : valid={result.ring_valid}")
-        print(f"latency   : p50={result.latency_percentile(0.5):.2f}ms "
-              f"p99={result.latency_percentile(0.99):.2f}ms")
+        overall = result.percentiles()
+        print(f"latency   : p50={overall['p50']:.2f}ms "
+              f"p95={overall['p95']:.2f}ms p99={overall['p99']:.2f}ms")
+        for worker, stats in result.worker_percentiles().items():
+            print(f"  worker {worker:2d}: {int(stats['requests']):4d} req "
+                  f"p50={stats['p50']:.2f}ms p95={stats['p95']:.2f}ms "
+                  f"p99={stats['p99']:.2f}ms")
+        for decile, stats in result.decile_percentiles().items():
+            print(f"  decile {decile}: {int(stats['requests']):4d} req "
+                  f"p50={stats['p50']:.2f}ms p95={stats['p95']:.2f}ms "
+                  f"p99={stats['p99']:.2f}ms")
         print(f"duration  : {result.duration_s:.2f}s")
         return 0 if result.ok else 1
 
@@ -557,6 +639,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="wall-clock budget per sweep cell attempt",
+    )
+    experiment_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="journal completed cells to per-stage JSONL files "
+        "(experiments that sweep fork <stem>.<stage>.jsonl siblings)",
+    )
+    experiment_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --journal",
     )
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
@@ -745,7 +839,45 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--seed", type=int, default=0)
     loadgen_parser.add_argument("--requests", type=int, default=100)
     loadgen_parser.add_argument("--concurrency", type=int, default=8)
+    loadgen_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay a saved workload trace (see 'repro workload'): issue "
+        "exactly its lookup demand and report latency percentiles split "
+        "by popularity decile; self-hosted clusters size to the trace",
+    )
     loadgen_parser.set_defaults(handler=_cmd_loadgen)
+
+    workload_parser = sub.add_parser(
+        "workload",
+        help="generate a seeded, replayable demand trace (JSONL)",
+    )
+    workload_parser.add_argument(
+        "--generator", default="zipf", choices=workload_names()
+    )
+    workload_parser.add_argument("--n", type=int, default=256)
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.add_argument(
+        "--param",
+        action="append",
+        type=_workload_param,
+        metavar="KEY=VALUE",
+        help="generator parameter override (repeatable), e.g. "
+        "--param alpha=1.4 --param rounds=24",
+    )
+    workload_parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write the trace JSONL here"
+    )
+    workload_parser.add_argument(
+        "--replay",
+        default=None,
+        choices=algorithm_names(),
+        metavar="ALGORITHM",
+        help="also replay the trace through the simulator with this "
+        "algorithm and print the service stats",
+    )
+    workload_parser.set_defaults(handler=_cmd_workload)
     return parser
 
 

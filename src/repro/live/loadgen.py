@@ -15,6 +15,13 @@ answers*, not just the latencies:
 
 A workload that passes proves the live service returns the same
 structures the in-simulator apps compute.
+
+Two demand shapes are supported: the default synthetic mix (uniform
+``succ`` targets interleaved with ``census`` probes) and **trace
+replay** — pass a :class:`repro.workloads.Trace` and the generator
+issues exactly the trace's lookup demand (its dense targets mapped onto
+the cluster roster), reporting latency percentiles split by popularity
+decile so skew-sensitive tail behavior is visible.
 """
 
 from __future__ import annotations
@@ -29,6 +36,14 @@ from ..sim.rng import derive_rng
 from .wire import encode_frame, read_frame
 
 
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
 @dataclass
 class LoadgenReport:
     """Outcome of one load-generation run.
@@ -39,6 +54,12 @@ class LoadgenReport:
     at all, e.g. ``requests=1`` issues only a ``succ`` probe).  A run is
     :attr:`ok` unless censuses actively disagree; "nothing sampled" is
     not a failure.
+
+    Latencies are kept three ways: the flat list (aggregate
+    percentiles), per worker (``worker_latencies_ms`` — a slow worker
+    hides inside the aggregate tail, which is exactly where coordinated
+    omission lives), and, for trace replays, per popularity decile
+    (``decile_latencies_ms``, decile 0 = hottest 10% of targets).
     """
 
     requests: int
@@ -50,6 +71,8 @@ class LoadgenReport:
     count: Optional[int] = None
     census_samples: int = 0
     latencies_ms: List[float] = field(default_factory=list)
+    worker_latencies_ms: Dict[int, List[float]] = field(default_factory=dict)
+    decile_latencies_ms: Dict[int, List[float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -60,11 +83,39 @@ class LoadgenReport:
         )
 
     def latency_percentile(self, fraction: float) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        return _percentile(self.latencies_ms, fraction)
+
+    def percentiles(self) -> Dict[str, float]:
+        """Aggregate p50/p95/p99 over every recorded latency."""
+        return {
+            "p50": _percentile(self.latencies_ms, 0.50),
+            "p95": _percentile(self.latencies_ms, 0.95),
+            "p99": _percentile(self.latencies_ms, 0.99),
+        }
+
+    def worker_percentiles(self) -> Dict[int, Dict[str, float]]:
+        """p50/p95/p99 per worker, keyed by worker index."""
+        return {
+            worker: {
+                "requests": float(len(values)),
+                "p50": _percentile(values, 0.50),
+                "p95": _percentile(values, 0.95),
+                "p99": _percentile(values, 0.99),
+            }
+            for worker, values in sorted(self.worker_latencies_ms.items())
+        }
+
+    def decile_percentiles(self) -> Dict[int, Dict[str, float]]:
+        """p50/p95/p99 per popularity decile (trace replays only)."""
+        return {
+            decile: {
+                "requests": float(len(values)),
+                "p50": _percentile(values, 0.50),
+                "p95": _percentile(values, 0.95),
+                "p99": _percentile(values, 0.99),
+            }
+            for decile, values in sorted(self.decile_latencies_ms.items())
+        }
 
 
 class _Worker:
@@ -105,28 +156,64 @@ class _Worker:
                 pass
 
 
+def _synthetic_plan(
+    requests: int, roster: Sequence[int], seed: int
+) -> List[Tuple[Mapping, Optional[int]]]:
+    rng = derive_rng(seed, "loadgen")
+    plan: List[Tuple[Mapping, Optional[int]]] = []
+    for index in range(requests):
+        if index % 2 == 0 and roster:
+            of = roster[rng.randrange(len(roster))]
+            plan.append(({"t": "succ", "of": of}, None))
+        else:
+            plan.append(({"t": "census"}, None))
+    return plan
+
+
+def _trace_plan(trace, roster: Sequence[int]) -> List[Tuple[Mapping, Optional[int]]]:
+    from ..workloads import popularity_deciles
+
+    if trace.n != len(roster):
+        raise ValueError(
+            f"trace is for n={trace.n} but the cluster roster has "
+            f"{len(roster)} nodes"
+        )
+    deciles = popularity_deciles(trace)
+    ordered = sorted(roster)
+    return [
+        ({"t": "succ", "of": ordered[event.target]}, deciles[event.target])
+        for event in trace.events_of("lookup")
+    ]
+
+
 async def run_loadgen(
     endpoints: Sequence[Tuple[str, int]],
     *,
     requests: int = 100,
     concurrency: int = 8,
     seed: int = 0,
+    trace=None,
 ) -> LoadgenReport:
-    """Drive *requests* census/succ lookups over *concurrency* workers.
+    """Drive census/succ lookups over *concurrency* workers.
 
     Work is split round-robin across workers; each worker sticks to one
-    (seed-chosen) endpoint per request, mixing ``census`` and ``succ``
-    queries.  Every ``succ`` answer contributes an edge to a global
-    successor map validated as one ring at the end.
+    (seed-chosen) endpoint per run.  By default *requests* queries mix
+    ``census`` and ``succ``; with *trace* (a
+    :class:`repro.workloads.Trace`) the plan is exactly the trace's
+    lookup events — one ``succ`` per lookup, targets mapped through the
+    sorted roster, *requests* ignored — and latencies are additionally
+    split by popularity decile.  Every ``succ`` answer contributes an
+    edge to a global successor map validated as one ring at the end.
     """
     if not endpoints:
         raise ValueError("loadgen needs at least one endpoint")
     if requests < 1 or concurrency < 1:
         raise ValueError("requests and concurrency must be >= 1")
-    rng = derive_rng(seed, "loadgen")
     censuses: List[Mapping] = []
     successors: Dict[int, int] = {}
     latencies: List[float] = []
+    worker_latencies: Dict[int, List[float]] = {}
+    decile_latencies: Dict[int, List[float]] = {}
     errors = 0
 
     # One known-roster probe seeds the succ queries with real ids.
@@ -136,28 +223,34 @@ async def run_loadgen(
     finally:
         await probe.close()
 
-    plans: List[List[Mapping]] = [[] for _ in range(concurrency)]
-    for index in range(requests):
-        if index % 2 == 0 and roster:
-            of = roster[rng.randrange(len(roster))]
-            payload: Mapping = {"t": "succ", "of": of}
-        else:
-            payload = {"t": "census"}
-        plans[index % concurrency].append(payload)
+    if trace is not None:
+        plan = _trace_plan(trace, roster)
+    else:
+        plan = _synthetic_plan(requests, roster, seed)
+    plans: List[List[Tuple[Mapping, Optional[int]]]] = [
+        [] for _ in range(concurrency)
+    ]
+    for index, entry in enumerate(plan):
+        plans[index % concurrency].append(entry)
 
     async def drive(worker_index: int) -> None:
         nonlocal errors
         worker_rng = derive_rng(seed, "loadgen-worker", worker_index)
         worker = _Worker(endpoints[worker_rng.randrange(len(endpoints))])
+        mine = worker_latencies.setdefault(worker_index, [])
         try:
-            for payload in plans[worker_index]:
+            for payload, decile in plans[worker_index]:
                 started = time.perf_counter()
                 try:
                     reply = await worker.query(payload)
                 except (OSError, ConnectionError):
                     errors += 1
                     continue
-                latencies.append((time.perf_counter() - started) * 1e3)
+                elapsed = (time.perf_counter() - started) * 1e3
+                latencies.append(elapsed)
+                mine.append(elapsed)
+                if decile is not None:
+                    decile_latencies.setdefault(decile, []).append(elapsed)
                 if reply["t"] == "census_reply":
                     censuses.append(reply)
                 elif reply["t"] == "succ_reply":
@@ -190,7 +283,7 @@ async def run_loadgen(
             expected.get(of) == succ for of, succ in successors.items()
         )
     return LoadgenReport(
-        requests=requests,
+        requests=len(plan),
         errors=errors,
         duration_s=duration,
         census_consistent=census_consistent,
@@ -199,4 +292,6 @@ async def run_loadgen(
         count=censuses[0]["count"] if censuses else None,
         census_samples=len(censuses),
         latencies_ms=latencies,
+        worker_latencies_ms=worker_latencies,
+        decile_latencies_ms=decile_latencies,
     )

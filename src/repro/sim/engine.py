@@ -656,6 +656,60 @@ class SynchronousEngine:
             1 for count in self._alive_known.values() if count == target
         )
 
+    def inject_knowledge(self, node: int, ids: Iterable[int]) -> bool:
+        """Teach *node* the machine ids *ids* out of band, effective now.
+
+        The sanctioned host-side injection seam (the protocol-node
+        counterpart is :meth:`repro.sim.node.ProtocolNode.learn`): the
+        dynamic-graph workload mode uses it to make new contact edges
+        appear mid-run.  Ground truth is updated first and the protocol
+        node second, so legality enforcement sees a consistent state and
+        the node may immediately message its new contacts.  All three
+        backends apply the same bits through their native learning seams
+        (``_learn`` / ``_apply_mask`` / ``apply_delta``), keeping
+        cross-backend knowledge digests identical.
+
+        Call before :meth:`step` of the round the contact should exist
+        in.  Ids naming no simulated machine are ignored (the legacy
+        learning rule for strays).  Returns ``False`` without effect when
+        *node* has crashed — fail-stop machines learn nothing; raises
+        :class:`UnknownNodeError` for a *node* that never existed.
+        """
+        if self._finished:
+            raise EngineStateError("engine already finished; build a new one")
+        if node not in self._id_set:
+            raise UnknownNodeError(f"unknown machine id {node}")
+        if self._faults.is_crashed(node):
+            return False
+        new_ids = {
+            target for target in ids if target in self._id_set and target != node
+        }
+        if new_ids:
+            if self.backend == "vector":
+                state = self._vstate
+                index = self._index
+                row_index = index[node]
+                old_row = state.K[row_index].copy()
+                state.or_into(
+                    row_index,
+                    state.pack_indices([index[target] for target in new_ids]),
+                )
+                self._apply_vector_deltas({row_index: old_row})
+            elif self.fast_path:
+                idx = self._index[node]
+                add = self._mask_from_ids(new_ids) & ~self._kmasks[idx]
+                if add:
+                    if self.enforce_legality:
+                        # Sets are maintained eagerly in legality mode.
+                        self._ksets[node].update(new_ids)
+                    else:
+                        self._ksets_stale = True
+                    self._apply_mask(node, idx, add)
+            else:
+                self._learn(node, new_ids)
+        self.nodes[node].learn(new_ids)
+        return True
+
     # -- execution -----------------------------------------------------------------
 
     def run(self, max_rounds: Optional[int] = None) -> RunResult:

@@ -1,0 +1,73 @@
+"""Seeded, replayable demand-trace workloads (the T9 load-realism suite).
+
+Three layers:
+
+* :mod:`repro.workloads.trace` — the schema-versioned :class:`Trace`
+  object and its byte-stable JSONL persistence;
+* :mod:`repro.workloads.generators` — the ``WORKLOADS`` catalog of
+  seeded generators (Zipf lookups, diurnal curves, flash crowds,
+  correlated regional failures, dynamic-graph edge churn);
+* :mod:`repro.workloads.driver` — replay through the synchronous engine
+  (any backend) and popularity-decile demand accounting.
+
+Quickstart::
+
+    from repro.workloads import make_workload, run_trace_workload
+
+    trace = make_workload("zipf", 256, seed=7, alpha=1.2)
+    report = run_trace_workload(trace, "sublog", seed=7)
+    print(report.served_at_arrival_fraction, report.lookups["mean_delay"])
+
+See docs/WORKLOADS.md for the trace schema, the generator catalog, and
+the replay guarantees.
+"""
+
+from .driver import (
+    POPULARITY_DECILES,
+    LookupLoadObserver,
+    TraceRunReport,
+    TraceWorkload,
+    fault_plan_from_trace,
+    knowledge_injections,
+    popularity_deciles,
+    run_trace_workload,
+)
+from .generators import (
+    WORKLOADS,
+    apportion,
+    diurnal_curve,
+    make_workload,
+    workload_names,
+    zipf_weights,
+)
+from .trace import (
+    EVENT_KINDS,
+    TRACE_SCHEMA,
+    Trace,
+    TraceEvent,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "POPULARITY_DECILES",
+    "TRACE_SCHEMA",
+    "WORKLOADS",
+    "LookupLoadObserver",
+    "Trace",
+    "TraceEvent",
+    "TraceRunReport",
+    "TraceWorkload",
+    "apportion",
+    "diurnal_curve",
+    "fault_plan_from_trace",
+    "knowledge_injections",
+    "load_trace",
+    "make_workload",
+    "popularity_deciles",
+    "run_trace_workload",
+    "save_trace",
+    "workload_names",
+    "zipf_weights",
+]

@@ -1,0 +1,427 @@
+"""The seeded workload-generator catalog.
+
+Each generator renders one realistic demand pattern into a
+:class:`~repro.workloads.trace.Trace`.  All randomness flows through
+:func:`repro.sim.rng.derive_rng` with a per-generator salt path, so a
+``(generator, n, seed, params)`` tuple always produces the same trace —
+across processes, platforms, and Python versions.
+
+The catalog (``WORKLOADS``):
+
+* ``zipf`` — lookup popularity follows a Zipf law: the rank-``r`` target
+  receives weight ``1 / (r + 1)^alpha`` ("Searching in Unstructured
+  Overlays Using Local Knowledge and Gossip", arXiv 1403.3017, motivates
+  exactly this skew for content lookups).  ``alpha=0`` degenerates to
+  uniform demand, the control cell of the T9 skew sweep.
+* ``diurnal`` — arrival *rate* follows a sinusoidal day/night curve;
+  per-round request counts are apportioned by largest remainder, so the
+  total is exact and every round's load is provably inside
+  ``[1 - amplitude, 1 + amplitude]`` times the mean.
+* ``flash_crowd`` — a baseline uniform trickle with a step burst: for
+  ``spike_width`` rounds the arrival rate multiplies by ``spike_factor``
+  and every burst request targets one of ``hot_keys`` hot machines.
+* ``correlated_failures`` — whole *regions* fail together: victims are
+  drawn from ``victim_clusters`` randomly-chosen clusters of the
+  ``node % clusters`` membership rule (deliberately the same rule as the
+  ``clustered`` topology generator, so a trace built for a clustered
+  graph crashes machines that really are topological neighbours).
+* ``dynamic_graph`` — the input graph evolves mid-run: new contact
+  edges appear at round starts ("Discovery through Gossip",
+  arXiv 1202.2092, studies discovery under exactly this kind of graph
+  dynamics).
+
+Generators record their *resolved* parameters into ``Trace.params``, so
+the emitted manifest is a complete regeneration recipe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..sim.rng import derive_rng
+from .trace import Trace, TraceEvent
+
+#: Registry mapping generator name to its build function
+#: ``(n, *, seed=0, **params) -> Trace``.
+WORKLOADS: Dict[str, Callable[..., Trace]] = {}
+
+
+def _register(name: str) -> Callable[[Callable[..., Trace]], Callable[..., Trace]]:
+    def wrap(function: Callable[..., Trace]) -> Callable[..., Trace]:
+        WORKLOADS[name] = function
+        return function
+
+    return wrap
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def make_workload(name: str, n: int, *, seed: int = 0, **params: Any) -> Trace:
+    """Build the named workload trace for *n* machines."""
+    try:
+        build = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {workload_names()}"
+        ) from None
+    return build(n, seed=seed, **params)
+
+
+# -- shared numeric helpers (exported for the property tests) -----------------------
+
+
+def zipf_weights(n: int, alpha: float) -> List[float]:
+    """Unnormalized Zipf popularity weights by rank: ``1 / (r + 1)^alpha``.
+
+    Strictly positive and monotone non-increasing in rank for every
+    ``alpha >= 0`` — the invariant the hypothesis suite pins.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    return [1.0 / float(rank + 1) ** alpha for rank in range(n)]
+
+
+def diurnal_curve(rounds: int, period: int, amplitude: float) -> List[float]:
+    """Per-round relative load of a sinusoidal day/night cycle.
+
+    Every value is inside ``[1 - amplitude, 1 + amplitude]`` by
+    construction, and the curve has mean ~1 over whole periods.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    return [
+        1.0 + amplitude * math.sin(2.0 * math.pi * index / period)
+        for index in range(rounds)
+    ]
+
+
+def apportion(total: int, weights: Sequence[float]) -> List[int]:
+    """Split *total* integer units proportionally to *weights*.
+
+    Largest-remainder apportionment with deterministic tie-breaking
+    (larger fractional part first, then lower index), so the result is a
+    pure function of its inputs and sums to *total* exactly.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    mass = float(sum(weights))
+    if mass <= 0.0:
+        raise ValueError("weights must have positive total mass")
+    quotas = [total * weight / mass for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    shortfall = total - sum(counts)
+    order = sorted(
+        range(len(weights)), key=lambda index: (counts[index] - quotas[index], index)
+    )
+    for index in order[:shortfall]:
+        counts[index] += 1
+    return counts
+
+
+def _weighted_rank(rng, cumulative: Sequence[float]) -> int:
+    """Draw a rank from a cumulative-weight table (binary search)."""
+    point = rng.random() * cumulative[-1]
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cumulative[mid] <= point:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+# -- the catalog --------------------------------------------------------------------
+
+
+@_register("zipf")
+def zipf_lookups(
+    n: int,
+    *,
+    seed: int = 0,
+    requests: Optional[int] = None,
+    alpha: float = 1.1,
+    rounds: int = 12,
+) -> Trace:
+    """Zipf-skewed lookup demand, uniformly spread over *rounds*.
+
+    The rank→machine assignment is a seeded permutation, so the hot
+    targets are not simply the low-numbered machines (which tend to be
+    structurally special in synthetic topologies).
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    resolved_requests = 4 * n if requests is None else requests
+    if resolved_requests < 0:
+        raise ValueError(f"requests must be >= 0, got {resolved_requests}")
+    rng = derive_rng(seed, "workload", "zipf", n, alpha, rounds, resolved_requests)
+    ranked = list(range(n))
+    rng.shuffle(ranked)
+    weights = zipf_weights(n, alpha)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    events = []
+    for _ in range(resolved_requests):
+        round_no = rng.randint(1, rounds)
+        target = ranked[_weighted_rank(rng, cumulative)]
+        attach = rng.randrange(n)
+        events.append(TraceEvent(round_no, "lookup", attach, target))
+    return Trace(
+        generator="zipf",
+        n=n,
+        seed=seed,
+        params={"alpha": alpha, "requests": resolved_requests, "rounds": rounds},
+        events=tuple(events),
+    )
+
+
+@_register("diurnal")
+def diurnal_lookups(
+    n: int,
+    *,
+    seed: int = 0,
+    requests: Optional[int] = None,
+    rounds: int = 48,
+    period: int = 24,
+    amplitude: float = 0.8,
+) -> Trace:
+    """Uniform-target lookups whose arrival rate follows a day/night curve."""
+    resolved_requests = 4 * n if requests is None else requests
+    if resolved_requests < 0:
+        raise ValueError(f"requests must be >= 0, got {resolved_requests}")
+    curve = diurnal_curve(rounds, period, amplitude)
+    per_round = apportion(resolved_requests, curve)
+    rng = derive_rng(
+        seed, "workload", "diurnal", n, rounds, period, amplitude, resolved_requests
+    )
+    events = []
+    for index, count in enumerate(per_round):
+        round_no = index + 1
+        for _ in range(count):
+            attach = rng.randrange(n)
+            target = rng.randrange(n)
+            events.append(TraceEvent(round_no, "lookup", attach, target))
+    return Trace(
+        generator="diurnal",
+        n=n,
+        seed=seed,
+        params={
+            "amplitude": amplitude,
+            "period": period,
+            "requests": resolved_requests,
+            "rounds": rounds,
+        },
+        events=tuple(events),
+    )
+
+
+@_register("flash_crowd")
+def flash_crowd(
+    n: int,
+    *,
+    seed: int = 0,
+    requests: Optional[int] = None,
+    rounds: int = 24,
+    spike_round: Optional[int] = None,
+    spike_width: int = 2,
+    spike_factor: float = 8.0,
+    hot_keys: Optional[int] = None,
+) -> Trace:
+    """A uniform trickle with a step burst of hot-key demand.
+
+    During rounds ``[spike_round, spike_round + spike_width)`` the
+    arrival rate multiplies by *spike_factor* and every burst request
+    targets one of *hot_keys* seed-chosen machines — the flash-crowd
+    shape (everyone suddenly wants the same few things).
+    ``spike_factor=1`` degenerates to the uniform baseline, giving the
+    T9 flash table its control row.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    resolved_requests = 4 * n if requests is None else requests
+    if resolved_requests < 0:
+        raise ValueError(f"requests must be >= 0, got {resolved_requests}")
+    resolved_spike = max(1, rounds // 3) if spike_round is None else spike_round
+    if not 1 <= resolved_spike <= rounds:
+        raise ValueError(
+            f"spike_round must be in [1, {rounds}], got {resolved_spike}"
+        )
+    if spike_width < 1:
+        raise ValueError(f"spike_width must be >= 1, got {spike_width}")
+    if spike_factor < 1.0:
+        raise ValueError(f"spike_factor must be >= 1, got {spike_factor}")
+    hot_keys = min(4, n) if hot_keys is None else hot_keys
+    if not 1 <= hot_keys <= n:
+        raise ValueError(f"hot_keys must be in [1, {n}], got {hot_keys}")
+    spike_rounds = frozenset(
+        range(resolved_spike, min(rounds, resolved_spike + spike_width - 1) + 1)
+    )
+    weights = [
+        spike_factor if (index + 1) in spike_rounds else 1.0
+        for index in range(rounds)
+    ]
+    per_round = apportion(resolved_requests, weights)
+    rng = derive_rng(
+        seed,
+        "workload",
+        "flash-crowd",
+        n,
+        rounds,
+        resolved_spike,
+        spike_width,
+        spike_factor,
+        hot_keys,
+        resolved_requests,
+    )
+    hot = rng.sample(range(n), hot_keys)
+    events = []
+    for index, count in enumerate(per_round):
+        round_no = index + 1
+        in_spike = round_no in spike_rounds
+        for _ in range(count):
+            attach = rng.randrange(n)
+            target = hot[rng.randrange(hot_keys)] if in_spike else rng.randrange(n)
+            events.append(TraceEvent(round_no, "lookup", attach, target))
+    return Trace(
+        generator="flash_crowd",
+        n=n,
+        seed=seed,
+        params={
+            "hot_keys": hot_keys,
+            "requests": resolved_requests,
+            "rounds": rounds,
+            "spike_factor": spike_factor,
+            "spike_round": resolved_spike,
+            "spike_width": spike_width,
+        },
+        events=tuple(events),
+    )
+
+
+@_register("correlated_failures")
+def correlated_failures(
+    n: int,
+    *,
+    seed: int = 0,
+    clusters: int = 8,
+    victim_clusters: int = 1,
+    fail_fraction: float = 0.9,
+    failure_round: int = 6,
+    stagger: int = 2,
+) -> Trace:
+    """Regional crash bursts keyed to the ``node % clusters`` membership.
+
+    The membership rule matches the ``clustered`` topology generator
+    exactly, so replaying this trace against ``make_topology("clustered",
+    n, clusters=clusters)`` crashes machines that share a region of the
+    actual graph.  Each victim crashes at ``failure_round + offset`` with
+    a seeded ``offset < stagger`` (a real regional outage is near- but
+    not perfectly simultaneous).
+    """
+    if not 1 <= clusters <= n:
+        raise ValueError(f"clusters must be in [1, {n}], got {clusters}")
+    if not 1 <= victim_clusters <= clusters:
+        raise ValueError(
+            f"victim_clusters must be in [1, {clusters}], got {victim_clusters}"
+        )
+    if not 0.0 <= fail_fraction <= 1.0:
+        raise ValueError(f"fail_fraction must be in [0, 1], got {fail_fraction}")
+    if failure_round < 1:
+        raise ValueError(f"failure_round must be >= 1, got {failure_round}")
+    if stagger < 1:
+        raise ValueError(f"stagger must be >= 1, got {stagger}")
+    rng = derive_rng(
+        seed,
+        "workload",
+        "correlated-failures",
+        n,
+        clusters,
+        victim_clusters,
+        fail_fraction,
+        failure_round,
+        stagger,
+    )
+    victim_regions = sorted(rng.sample(range(clusters), victim_clusters))
+    events = []
+    for region in victim_regions:
+        members = [node for node in range(n) if node % clusters == region]
+        count = int(len(members) * fail_fraction)
+        for victim in sorted(rng.sample(members, count)):
+            events.append(
+                TraceEvent(failure_round + rng.randrange(stagger), "crash", victim)
+            )
+    return Trace(
+        generator="correlated_failures",
+        n=n,
+        seed=seed,
+        params={
+            "clusters": clusters,
+            "fail_fraction": fail_fraction,
+            "failure_round": failure_round,
+            "stagger": stagger,
+            "victim_clusters": victim_clusters,
+        },
+        events=tuple(events),
+    )
+
+
+@_register("dynamic_graph")
+def dynamic_graph(
+    n: int,
+    *,
+    seed: int = 0,
+    edges_per_round: int = 4,
+    churn_rounds: int = 8,
+    start_round: int = 2,
+) -> Trace:
+    """Mid-run contact-edge churn: the input graph evolves under the run.
+
+    For *churn_rounds* consecutive rounds starting at *start_round*,
+    *edges_per_round* fresh directed contact edges appear (a machine
+    learns another machine's address out of band).  Knowledge being
+    monotone, edge *additions* are the sound half of graph dynamics —
+    removals would violate the model's ball-containment lemma.
+    """
+    if edges_per_round < 1:
+        raise ValueError(f"edges_per_round must be >= 1, got {edges_per_round}")
+    if churn_rounds < 1:
+        raise ValueError(f"churn_rounds must be >= 1, got {churn_rounds}")
+    if start_round < 1:
+        raise ValueError(f"start_round must be >= 1, got {start_round}")
+    if n < 2:
+        raise ValueError(f"dynamic_graph needs n >= 2, got {n}")
+    rng = derive_rng(
+        seed, "workload", "dynamic-graph", n, edges_per_round, churn_rounds, start_round
+    )
+    events = []
+    for offset in range(churn_rounds):
+        round_no = start_round + offset
+        for _ in range(edges_per_round):
+            node = rng.randrange(n)
+            target = rng.randrange(n - 1)
+            if target >= node:
+                target += 1
+            events.append(TraceEvent(round_no, "edge", node, target))
+    return Trace(
+        generator="dynamic_graph",
+        n=n,
+        seed=seed,
+        params={
+            "churn_rounds": churn_rounds,
+            "edges_per_round": edges_per_round,
+            "start_round": start_round,
+        },
+        events=tuple(events),
+    )

@@ -1,0 +1,272 @@
+"""Schema-versioned, replayable demand traces.
+
+A :class:`Trace` is the unit the workload suite moves around: an ordered,
+immutable sequence of timed events (skewed lookups, correlated crashes,
+mid-run contact edges) plus the full recipe that produced it (generator
+name, ``n``, seed, resolved parameters).  Two guarantees make traces a
+sound experiment input:
+
+* **Replayability** — a trace is pure data.  Feeding the same trace to
+  the engine twice (any backend) yields byte-identical knowledge
+  digests; regenerating it from its recorded recipe yields the same
+  trace, event for event.
+* **Byte-stable persistence** — :func:`save_trace` writes canonical
+  JSONL (sorted keys, one fsync), so the same trace always serializes to
+  the same bytes and ``cmp`` is a valid determinism check.  The on-disk
+  shape is the journal-record format of :mod:`repro.bench.store`
+  (manifest first, one record per line), and :func:`load_trace` reads it
+  back through :func:`repro.bench.store.read_journal`, inheriting its
+  torn-tail tolerance.
+
+Events carry *dense indices* ``0 .. n-1``, not concrete machine ids:
+the driver (:mod:`repro.workloads.driver`) maps index ``i`` to the
+``i``-th smallest machine id of whatever graph the trace is replayed
+against, so one trace is portable across id namespaces and topologies
+of the same size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from ..bench.store import read_journal
+
+#: Schema version stamped into trace manifests; bump when the record
+#: shapes change incompatibly.
+TRACE_SCHEMA = 1
+
+#: The manifest ``kind`` tag distinguishing trace files from sweep
+#: journals (both are manifest-first JSONL).
+TRACE_KIND = "workload-trace"
+
+#: Recognized event kinds, in canonical sort order:
+#:
+#: * ``"lookup"`` — a client attached at ``node`` asks for ``target``'s
+#:   address at the start of ``round_no`` (read-only demand: served once
+#:   the attach node knows the target).
+#: * ``"crash"`` — ``node`` fail-stops at the start of ``round_no``
+#:   (``target`` unused); synthesized into a
+#:   :class:`repro.sim.faults.FaultPlan`.
+#: * ``"edge"`` — a new contact edge ``node -> target`` appears at the
+#:   start of ``round_no`` (the dynamic-graph mode: the overlay evolves
+#:   out of band, gossip-style).
+EVENT_KINDS = ("lookup", "crash", "edge")
+
+_KIND_ORDER = {kind: order for order, kind in enumerate(EVENT_KINDS)}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed workload event, in dense-index coordinates.
+
+    ``round_no`` is 1-based and names the round at whose *start* the
+    event takes effect, matching the fault injector's crash semantics.
+    """
+
+    round_no: int
+    kind: str
+    node: int
+    target: Optional[int] = None
+
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        return (
+            self.round_no,
+            _KIND_ORDER[self.kind],
+            self.node,
+            -1 if self.target is None else self.target,
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "event",
+            "round": self.round_no,
+            "kind": self.kind,
+            "node": self.node,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            round_no=record["round"],
+            kind=record["kind"],
+            node=record["node"],
+            target=record.get("target"),
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, canonically-ordered demand trace.
+
+    ``params`` records the generator's *resolved* parameters (defaults
+    included), so the manifest alone is a complete regeneration recipe.
+    """
+
+    generator: str
+    n: int
+    seed: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+    events: Tuple[TraceEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"trace n must be >= 1, got {self.n}")
+        for event in self.events:
+            if event.kind not in _KIND_ORDER:
+                raise ValueError(
+                    f"unknown event kind {event.kind!r}; expected one of {EVENT_KINDS}"
+                )
+        ordered = tuple(sorted(self.events, key=TraceEvent.sort_key))
+        object.__setattr__(self, "events", ordered)
+        object.__setattr__(self, "params", dict(self.params))
+        for event in ordered:
+            if event.round_no < 1:
+                raise ValueError(f"event round must be >= 1, got {event.round_no}")
+            if not 0 <= event.node < self.n:
+                raise ValueError(
+                    f"event node {event.node} outside dense range [0, {self.n})"
+                )
+            needs_target = event.kind in ("lookup", "edge")
+            if needs_target:
+                if event.target is None:
+                    raise ValueError(f"{event.kind} event requires a target")
+                if not 0 <= event.target < self.n:
+                    raise ValueError(
+                        f"event target {event.target} outside dense range [0, {self.n})"
+                    )
+            elif event.target is not None:
+                raise ValueError(f"{event.kind} event must not carry a target")
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """The last round any event touches (0 for an empty trace)."""
+        return max((event.round_no for event in self.events), default=0)
+
+    def events_of(self, kind: str) -> Tuple[TraceEvent, ...]:
+        if kind not in _KIND_ORDER:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return tuple(event for event in self.events if event.kind == kind)
+
+    def lookup_counts(self) -> Dict[int, int]:
+        """Total demand per target (dense index), over the whole trace."""
+        counts: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "lookup":
+                counts[event.target] = counts.get(event.target, 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- canonical serialization ---------------------------------------------------
+
+    def _header(self) -> Dict[str, Any]:
+        return {
+            "generator": self.generator,
+            "n": self.n,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON rendering of recipe + events.
+
+        The digest is stored in the manifest and re-verified on load, so
+        a trace file cannot silently drift from its recipe.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(json.dumps(self._header(), sort_keys=True).encode())
+        for event in self.events:
+            hasher.update(b"\n")
+            hasher.update(json.dumps(event.to_record(), sort_keys=True).encode())
+        return hasher.hexdigest()
+
+    def to_records(self) -> Sequence[Dict[str, Any]]:
+        """Manifest-first record sequence (the JSONL lines, as dicts)."""
+        manifest: Dict[str, Any] = {
+            "type": "manifest",
+            "schema": TRACE_SCHEMA,
+            "kind": TRACE_KIND,
+            "events": len(self.events),
+            "digest": self.digest(),
+        }
+        manifest.update(self._header())
+        return [manifest] + [event.to_record() for event in self.events]
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]], source: str = "<records>"
+    ) -> "Trace":
+        if not records or records[0].get("type") != "manifest":
+            raise ValueError(f"{source}: no manifest record; not a workload trace")
+        manifest = records[0]
+        if manifest.get("kind") != TRACE_KIND:
+            raise ValueError(
+                f"{source}: manifest kind {manifest.get('kind')!r} is not "
+                f"{TRACE_KIND!r}"
+            )
+        schema = manifest.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"{source}: unsupported trace schema {schema!r} "
+                f"(expected {TRACE_SCHEMA})"
+            )
+        events = tuple(
+            TraceEvent.from_record(record)
+            for record in records[1:]
+            if record.get("type") == "event"
+        )
+        if len(events) != manifest.get("events"):
+            raise ValueError(
+                f"{source}: manifest promises {manifest.get('events')} events, "
+                f"found {len(events)} (truncated file?)"
+            )
+        trace = cls(
+            generator=manifest["generator"],
+            n=manifest["n"],
+            seed=manifest["seed"],
+            params=dict(manifest.get("params", {})),
+            events=events,
+        )
+        digest = manifest.get("digest")
+        if digest != trace.digest():
+            raise ValueError(
+                f"{source}: trace digest mismatch (manifest {digest!r}, "
+                f"recomputed {trace.digest()!r})"
+            )
+        return trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Write *trace* as canonical JSONL; returns the number of events.
+
+    One open, one fsync: unlike the incremental sweep journal, a trace is
+    complete before it is written.  Identical traces always produce
+    byte-identical files (``json.dumps`` with sorted keys is
+    deterministic), which the determinism tests and the CI smoke rely on.
+    """
+    lines = [
+        json.dumps(record, sort_keys=True) for record in trace.to_records()
+    ]
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("\n".join(lines) + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    return len(trace.events)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`, verifying schema,
+    event count, and digest."""
+    return Trace.from_records(read_journal(path), source=str(path))

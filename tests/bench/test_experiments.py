@@ -33,6 +33,7 @@ class TestRegistry:
             "T6",
             "T7",
             "T8",
+            "T9",
             "F1",
             "F2",
             "F3",

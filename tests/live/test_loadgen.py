@@ -123,3 +123,86 @@ class TestQueryService:
         reply, requested = asyncio.run(scenario())
         assert reply["t"] == "ok"
         assert requested
+
+
+class TestLatencyBreakdown:
+    def test_percentiles_and_per_worker_split(self):
+        async def scenario():
+            cluster = await _serving_cluster()
+            try:
+                return await run_loadgen(
+                    cluster.endpoints, requests=24, concurrency=3, seed=9
+                )
+            finally:
+                await cluster.close()
+
+        report = asyncio.run(scenario())
+        overall = report.percentiles()
+        assert set(overall) == {"p50", "p95", "p99"}
+        assert 0.0 < overall["p50"] <= overall["p95"] <= overall["p99"]
+        workers = report.worker_percentiles()
+        assert set(workers) == {0, 1, 2}
+        assert sum(int(stats["requests"]) for stats in workers.values()) == 24
+        for stats in workers.values():
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+        # every recorded latency is attributed to exactly one worker
+        assert sum(
+            len(values) for values in report.worker_latencies_ms.values()
+        ) == len(report.latencies_ms)
+
+    def test_empty_percentiles_are_zero(self):
+        from repro.live.loadgen import LoadgenReport
+
+        report = LoadgenReport(
+            requests=0,
+            errors=0,
+            duration_s=0.0,
+            census_consistent=None,
+            ring_valid=True,
+        )
+        assert report.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert report.worker_percentiles() == {}
+        assert report.decile_percentiles() == {}
+
+
+class TestTraceReplay:
+    def test_trace_drives_exact_lookup_demand(self):
+        from repro.workloads import make_workload
+
+        trace = make_workload("zipf", 6, seed=4, requests=30)
+
+        async def scenario():
+            cluster = await _serving_cluster(n=6, seed=2)
+            try:
+                return await run_loadgen(
+                    cluster.endpoints, concurrency=3, seed=9, trace=trace
+                )
+            finally:
+                await cluster.close()
+
+        report = asyncio.run(scenario())
+        assert report.ok
+        assert report.requests == 30  # trace demand, not the default 100
+        assert report.census_samples == 0  # trace plans are succ-only
+        assert len(report.latencies_ms) == 30
+        by_decile = report.decile_percentiles()
+        assert by_decile  # skew recorded per popularity decile
+        assert sum(int(stats["requests"]) for stats in by_decile.values()) == 30
+        assert min(by_decile) == 0  # the hot decile exists
+
+    def test_trace_size_mismatch_rejected(self):
+        import pytest as _pytest
+
+        from repro.workloads import make_workload
+
+        trace = make_workload("zipf", 12, seed=4, requests=10)
+
+        async def scenario():
+            cluster = await _serving_cluster(n=4, seed=1)
+            try:
+                with _pytest.raises(ValueError, match="n=12"):
+                    await run_loadgen(cluster.endpoints, trace=trace)
+            finally:
+                await cluster.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,110 @@
+"""Property-based tests for the workload suite's core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import Trace, make_workload, zipf_weights
+from repro.workloads.generators import apportion, diurnal_curve
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    alpha=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+)
+def test_zipf_weights_positive_and_monotone(n: int, alpha: float):
+    weights = zipf_weights(n, alpha)
+    assert len(weights) == n
+    assert all(weight > 0.0 for weight in weights)
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+@COMMON
+@given(
+    rounds=st.integers(min_value=1, max_value=200),
+    period=st.integers(min_value=1, max_value=100),
+    amplitude=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_diurnal_curve_stays_inside_envelope(
+    rounds: int, period: int, amplitude: float
+):
+    curve = diurnal_curve(rounds, period, amplitude)
+    assert len(curve) == rounds
+    epsilon = 1e-9
+    assert all(
+        1.0 - amplitude - epsilon <= value <= 1.0 + amplitude + epsilon
+        for value in curve
+    )
+
+
+@COMMON
+@given(
+    total=st.integers(min_value=0, max_value=10_000),
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ).filter(lambda ws: sum(ws) > 0),
+)
+def test_apportion_sums_exactly_and_respects_zero_weights(total, weights):
+    counts = apportion(total, weights)
+    assert sum(counts) == total
+    assert all(count >= 0 for count in counts)
+    for weight, count in zip(weights, counts):
+        if weight == 0.0:
+            assert count == 0
+
+
+@COMMON
+@given(
+    n=st.integers(min_value=8, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**31),
+    clusters=st.integers(min_value=1, max_value=8),
+    victim_clusters=st.integers(min_value=1, max_value=8),
+)
+def test_correlated_failures_stay_inside_victim_regions(
+    n, seed, clusters, victim_clusters
+):
+    victim_clusters = min(victim_clusters, clusters)
+    trace = make_workload(
+        "correlated_failures",
+        n,
+        seed=seed,
+        clusters=clusters,
+        victim_clusters=victim_clusters,
+    )
+    regions = {event.node % clusters for event in trace.events_of("crash")}
+    assert len(regions) <= victim_clusters
+    victims = [event.node for event in trace.events_of("crash")]
+    assert len(victims) == len(set(victims))
+
+
+@COMMON
+@given(
+    name=st.sampled_from(["zipf", "diurnal", "flash_crowd", "dynamic_graph"]),
+    n=st.integers(min_value=2, max_value=96),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_every_trace_round_trips_through_records(name, n, seed):
+    trace = make_workload(name, n, seed=seed)
+    assert Trace.from_records(trace.to_records()) == trace
+
+
+@COMMON
+@given(
+    n=st.integers(min_value=2, max_value=96),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_trace_digest_is_a_pure_function_of_content(n, seed):
+    first = make_workload("zipf", n, seed=seed)
+    second = make_workload("zipf", n, seed=seed)
+    assert first.digest() == second.digest()
+    assert first.events == second.events

@@ -1,0 +1,31 @@
+"""Docs stay internally consistent: every relative link must resolve."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_docs_links.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("check_docs_links", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_relative_links_or_anchors():
+    checker = _load()
+    broken = checker.check()
+    assert broken == [], "\n".join(
+        f"{source}: {target} ({why})" for source, target, why in broken
+    )
+
+
+def test_slugger_matches_github_rules():
+    checker = _load()
+    seen = {}
+    assert checker.github_slug("Hello, World!", seen) == "hello-world"
+    assert checker.github_slug("Hello, World!", seen) == "hello-world-1"
+    assert checker.github_slug("`repro sweep` flags", {}) == "repro-sweep-flags"

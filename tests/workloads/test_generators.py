@@ -1,0 +1,143 @@
+"""The generator catalog: determinism, resolved params, shape claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import make_workload, workload_names
+from repro.workloads.generators import apportion, diurnal_curve, zipf_weights
+
+
+class TestRegistry:
+    def test_catalog_is_complete(self):
+        assert workload_names() == [
+            "correlated_failures",
+            "diurnal",
+            "dynamic_graph",
+            "flash_crowd",
+            "zipf",
+        ]
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("nope", 16)
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_generator_is_seed_deterministic(self, name):
+        assert (
+            make_workload(name, 40, seed=3).digest()
+            == make_workload(name, 40, seed=3).digest()
+        )
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_params_record_resolved_defaults(self, name):
+        trace = make_workload(name, 40, seed=3)
+        rebuilt = make_workload(name, 40, seed=3, **trace.params)
+        assert rebuilt == trace
+
+
+class TestHelpers:
+    def test_zipf_weights_validate(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, -0.5)
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_diurnal_curve_validates(self):
+        with pytest.raises(ValueError):
+            diurnal_curve(0, 24, 0.5)
+        with pytest.raises(ValueError):
+            diurnal_curve(24, 24, 1.5)
+
+    def test_apportion_is_exact(self):
+        counts = apportion(100, [3.0, 1.0, 1.0])
+        assert sum(counts) == 100
+        assert counts[0] == 60
+
+    def test_apportion_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            apportion(10, [0.0, 0.0])
+
+
+class TestShapes:
+    def test_zipf_skew_concentrates_demand(self):
+        uniform = make_workload("zipf", 64, seed=7, alpha=0.0, requests=2000)
+        skewed = make_workload("zipf", 64, seed=7, alpha=1.4, requests=2000)
+
+        def top_share(trace):
+            counts = sorted(trace.lookup_counts().values(), reverse=True)
+            return sum(counts[:6]) / sum(counts)
+
+        assert top_share(skewed) > 2 * top_share(uniform)
+
+    def test_diurnal_counts_follow_curve_bounds(self):
+        trace = make_workload(
+            "diurnal", 32, seed=1, requests=4800, rounds=48, amplitude=0.8
+        )
+        per_round = [0] * 48
+        for event in trace:
+            per_round[event.round_no - 1] += 1
+        mean = sum(per_round) / len(per_round)
+        # Apportionment keeps every round within the curve's envelope
+        # (allow one unit of integer slack).
+        for count in per_round:
+            assert (1 - 0.8) * mean - 1 <= count <= (1 + 0.8) * mean + 1
+
+    def test_flash_crowd_burst_targets_hot_keys(self):
+        trace = make_workload(
+            "flash_crowd",
+            64,
+            seed=5,
+            spike_round=8,
+            spike_width=2,
+            spike_factor=8.0,
+            hot_keys=3,
+        )
+        burst = [e for e in trace if e.round_no in (8, 9)]
+        calm = [e for e in trace if e.round_no not in (8, 9)]
+        assert len({e.target for e in burst}) <= 3
+        burst_rate = len(burst) / 2
+        calm_rate = len(calm) / 22
+        assert burst_rate > 4 * calm_rate  # nominally 8x
+
+    def test_flash_factor_one_is_flat(self):
+        trace = make_workload("flash_crowd", 64, seed=5, spike_factor=1.0)
+        per_round = {}
+        for event in trace:
+            per_round[event.round_no] = per_round.get(event.round_no, 0) + 1
+        assert max(per_round.values()) - min(per_round.values()) <= 1
+
+    def test_correlated_failures_respect_cluster_membership(self):
+        clusters = 8
+        trace = make_workload(
+            "correlated_failures", 64, seed=3, clusters=clusters, victim_clusters=2
+        )
+        regions = {event.node % clusters for event in trace.events_of("crash")}
+        assert len(regions) <= 2
+        assert trace.events_of("crash")  # 0.9 of two 8-member regions
+
+    def test_correlated_failures_stagger_window(self):
+        trace = make_workload(
+            "correlated_failures", 64, seed=3, failure_round=6, stagger=3
+        )
+        rounds = {event.round_no for event in trace.events_of("crash")}
+        assert rounds <= {6, 7, 8}
+
+    def test_correlated_failures_never_crash_twice(self):
+        trace = make_workload(
+            "correlated_failures", 64, seed=3, clusters=4, victim_clusters=4
+        )
+        victims = [event.node for event in trace.events_of("crash")]
+        assert len(victims) == len(set(victims))
+
+    def test_dynamic_graph_edges_have_distinct_endpoints(self):
+        trace = make_workload("dynamic_graph", 32, seed=2, edges_per_round=16)
+        for event in trace.events_of("edge"):
+            assert event.node != event.target
+
+    def test_dynamic_graph_rejects_singleton(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            make_workload("dynamic_graph", 1)

@@ -1,0 +1,128 @@
+"""Trace schema, canonical ordering, and byte-stable persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import Trace, TraceEvent, load_trace, make_workload, save_trace
+from repro.workloads.trace import TRACE_KIND, TRACE_SCHEMA
+
+
+class TestTraceValidation:
+    def test_events_are_canonically_sorted(self):
+        scrambled = (
+            TraceEvent(3, "lookup", 1, 2),
+            TraceEvent(1, "edge", 0, 1),
+            TraceEvent(1, "lookup", 2, 0),
+            TraceEvent(1, "crash", 1),
+        )
+        trace = Trace(generator="g", n=4, seed=0, events=scrambled)
+        keys = [event.sort_key() for event in trace.events]
+        assert keys == sorted(keys)
+        # lookup sorts before crash sorts before edge within a round
+        assert [e.kind for e in trace.events] == ["lookup", "crash", "edge", "lookup"]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            Trace(generator="g", n=2, seed=0, events=(TraceEvent(1, "nope", 0, 1),))
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(ValueError, match="outside dense range"):
+            Trace(generator="g", n=2, seed=0, events=(TraceEvent(1, "crash", 5),))
+
+    def test_rejects_lookup_without_target(self):
+        with pytest.raises(ValueError, match="requires a target"):
+            Trace(generator="g", n=2, seed=0, events=(TraceEvent(1, "lookup", 0),))
+
+    def test_rejects_crash_with_target(self):
+        with pytest.raises(ValueError, match="must not carry a target"):
+            Trace(generator="g", n=2, seed=0, events=(TraceEvent(1, "crash", 0, 1),))
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ValueError, match="round must be >= 1"):
+            Trace(generator="g", n=2, seed=0, events=(TraceEvent(0, "crash", 0),))
+
+    def test_horizon_and_views(self):
+        trace = Trace(
+            generator="g",
+            n=4,
+            seed=0,
+            events=(
+                TraceEvent(2, "lookup", 0, 3),
+                TraceEvent(5, "lookup", 1, 3),
+                TraceEvent(3, "crash", 2),
+            ),
+        )
+        assert trace.horizon == 5
+        assert len(trace.events_of("lookup")) == 2
+        assert trace.lookup_counts() == {3: 2}
+        assert Trace(generator="g", n=1, seed=0).horizon == 0
+
+
+class TestPersistence:
+    def test_same_seed_means_byte_identical_files(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        save_trace(make_workload("zipf", 64, seed=9, alpha=1.2), first)
+        save_trace(make_workload("zipf", 64, seed=9, alpha=1.2), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_means_different_trace(self, tmp_path):
+        one = make_workload("zipf", 64, seed=9)
+        other = make_workload("zipf", 64, seed=10)
+        assert one.digest() != other.digest()
+
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = make_workload("flash_crowd", 32, seed=4, spike_factor=16.0)
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(trace, path) == len(trace)
+        loaded = load_trace(path)
+        assert loaded == trace
+        assert loaded.digest() == trace.digest()
+        assert loaded.params == trace.params
+
+    def test_manifest_is_first_line_with_schema(self, tmp_path):
+        import json
+
+        trace = make_workload("dynamic_graph", 16, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        manifest = json.loads(path.read_text().splitlines()[0])
+        assert manifest["type"] == "manifest"
+        assert manifest["schema"] == TRACE_SCHEMA
+        assert manifest["kind"] == TRACE_KIND
+        assert manifest["events"] == len(trace)
+        assert manifest["digest"] == trace.digest()
+
+    def test_load_rejects_tampered_events(self, tmp_path):
+        trace = make_workload("zipf", 16, seed=2, requests=20)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"round": 1', '"round": 2', 1)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_trace(path)
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        trace = make_workload("zipf", 16, seed=2, requests=20)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_load_rejects_sweep_journal(self, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(json.dumps({"type": "manifest", "schema": 1}) + "\n")
+        with pytest.raises(ValueError, match="kind"):
+            load_trace(path)
+
+    def test_manifest_is_a_regeneration_recipe(self):
+        trace = make_workload("diurnal", 48, seed=5)
+        rebuilt = make_workload(
+            trace.generator, trace.n, seed=trace.seed, **trace.params
+        )
+        assert rebuilt == trace
